@@ -1,0 +1,73 @@
+"""Figure 1 — latency-tolerance zones of MILC, LULESH and ICON.
+
+The paper's headline figure shows, for three applications, the measured and
+predicted runtime as the injected latency grows, together with the maximum
+latency each application tolerates before losing 1 %, 2 % and 5 % of its
+performance.  The qualitative shape to reproduce: MILC tolerates the least
+latency (tens of µs), LULESH sits in the middle, ICON tolerates by far the
+most (hundreds of µs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CSCS_TESTBED
+from repro.analysis import run_validation_sweep
+from repro.apps import icon, lulesh, milc
+
+from conftest import print_header, print_rows
+
+NRANKS = 8
+CONFIGS = {
+    "MILC": (milc.build, dict(trajectories=3, cg_iterations=10)),
+    "LULESH": (lulesh.build, dict(iterations=20)),
+    "ICON": (icon.build, dict(steps=12)),
+}
+DELTAS = {
+    "MILC": np.linspace(0, 100, 6),
+    "LULESH": np.linspace(0, 100, 6),
+    "ICON": np.linspace(0, 1000, 6),
+}
+
+
+def _run_all():
+    results = {}
+    for name, (builder, knobs) in CONFIGS.items():
+        graph = builder(NRANKS, params=CSCS_TESTBED, **knobs)
+        results[name] = run_validation_sweep(
+            graph, CSCS_TESTBED, app=name, delta_Ls=DELTAS[name], repetitions=1
+        )
+    return results
+
+
+def test_fig01_tolerance_zones(run_once):
+    results = run_once(_run_all)
+
+    print_header("Figure 1 — latency tolerance zones (ΔL in µs over the base latency)")
+    rows = []
+    for name, sweep in results.items():
+        rows.append([
+            name,
+            sweep.tolerance.delta_tolerance(0.01),
+            sweep.tolerance.delta_tolerance(0.02),
+            sweep.tolerance.delta_tolerance(0.05),
+            sweep.rrmse * 100.0,
+        ])
+    print_rows(["app", "1% tol", "2% tol", "5% tol", "RRMSE %"], rows)
+
+    for name, sweep in results.items():
+        print(f"\n{name}: measured vs predicted runtime [s]")
+        print_rows(
+            ["ΔL [µs]", "measured", "predicted"],
+            [[r["delta_L_us"], r["measured_us"] / 1e6, r["predicted_us"] / 1e6]
+             for r in sweep.rows()],
+        )
+
+    tol = {name: sweep.tolerance.delta_tolerance(0.01) for name, sweep in results.items()}
+    # the paper's ordering: MILC << LULESH << ICON
+    assert tol["MILC"] < tol["LULESH"] < tol["ICON"]
+    assert tol["ICON"] > 5 * tol["MILC"]
+    # prediction accuracy: relative error below 2 %
+    for sweep in results.values():
+        assert sweep.rrmse < 0.02

@@ -1,0 +1,86 @@
+"""Figure 8 — latency-injection strategies and the distortion they introduce.
+
+Two back-to-back eager sends with pre-posted receives.  Strategy A (ideal,
+ΔL on the wire) and strategy D (the paper's progress+delay-thread injector)
+must agree; strategy B (sender-side delay, Underwood et al.) delays the
+sender and doubles the effective injection; strategy C (single receiver
+progress thread) serialises the delays once ΔL exceeds the overhead ``o``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CSCS_TESTBED
+from repro.mpi import run_program
+from repro.schedgen import build_graph
+from repro.simulator import INJECTOR_NAMES, make_injector, simulate, two_message_model
+
+from conftest import print_header, print_rows
+
+DELTAS = [0.0, 5.0, 20.0, 50.0]
+
+
+def _two_send_graph():
+    def app(comm):
+        if comm.rank == 0:
+            comm.send(1, 1, tag=0)
+            comm.send(1, 1, tag=1)
+        else:
+            r0 = comm.irecv(0, 1, tag=0)
+            r1 = comm.irecv(0, 1, tag=1)
+            comm.waitall([r0, r1])
+
+    return build_graph(run_program(app, 2))
+
+
+def _run():
+    graph = _two_send_graph()
+    analytic = {
+        (name, delta): two_message_model(CSCS_TESTBED, delta, name)
+        for name in INJECTOR_NAMES for delta in DELTAS
+    }
+    simulated = {
+        (name, delta): simulate(graph, CSCS_TESTBED, injector=make_injector(name, delta)).makespan
+        for name in INJECTOR_NAMES for delta in DELTAS
+    }
+    return analytic, simulated
+
+
+def test_fig08_injector_strategies(run_once):
+    analytic, simulated = run_once(_run)
+
+    print_header("Figure 8 — receiver completion time t_R1 [µs] per injection strategy")
+    rows = []
+    for delta in DELTAS:
+        rows.append([delta] + [analytic[(name, delta)].receiver_finish for name in INJECTOR_NAMES])
+    print_rows(["ΔL [µs]"] + list(INJECTOR_NAMES), rows)
+
+    print("\nsimulated makespans of the same micro-benchmark [µs]:")
+    rows = []
+    for delta in DELTAS:
+        rows.append([delta] + [simulated[(name, delta)] for name in INJECTOR_NAMES])
+    print_rows(["ΔL [µs]"] + list(INJECTOR_NAMES), rows)
+
+    for delta in DELTAS:
+        ideal = analytic[("ideal", delta)]
+        ours = analytic[("delay_thread", delta)]
+        sender = analytic[("sender_delay", delta)]
+        progress = analytic[("receiver_progress", delta)]
+        # D reproduces A exactly
+        assert ours.receiver_finish == pytest.approx(ideal.receiver_finish)
+        if delta > 0:
+            # B doubles the injected latency seen by the receiver
+            assert sender.receiver_finish == pytest.approx(
+                ideal.receiver_finish + delta)
+            # and delays the sender
+            assert sender.sender_finish > ideal.sender_finish
+        if delta > CSCS_TESTBED.o:
+            # C serialises the delays once ΔL > o
+            assert progress.receiver_finish > ideal.receiver_finish
+    # the simulator implements the same policies
+    for delta in DELTAS:
+        assert simulated[("ideal", delta)] == pytest.approx(simulated[("delay_thread", delta)])
+        if delta > 0:
+            assert simulated[("sender_delay", delta)] > simulated[("ideal", delta)]

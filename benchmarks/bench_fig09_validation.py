@@ -1,0 +1,78 @@
+"""Figure 9 — measured vs predicted runtime, λ_L and ρ_L for four applications
+at two scales each (the paper uses three scales; the third is reproduced at
+reduced size to keep the benchmark quick).
+
+Shape to reproduce: RRMSE below 2 % everywhere; λ_L grows (weakly) with ΔL;
+under weak scaling (LULESH, HPCG) the tolerance stays roughly stable with the
+rank count, under strong scaling (MILC, ICON) it shrinks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CSCS_TESTBED
+from repro.analysis import run_validation_sweep
+from repro.apps import hpcg, icon, lulesh, milc
+
+from conftest import print_header, print_rows
+
+SCALES = (8, 16)
+CONFIGS = {
+    "LULESH": (lulesh.build, dict(iterations=12), np.linspace(0, 100, 6)),
+    "HPCG": (hpcg.build, dict(iterations=8), np.linspace(0, 100, 6)),
+    "MILC": (milc.build, dict(trajectories=2, cg_iterations=8), np.linspace(0, 100, 6)),
+    "ICON": (icon.build, dict(steps=8), np.linspace(0, 1000, 6)),
+}
+
+
+def _run():
+    sweeps = {}
+    for name, (builder, knobs, deltas) in CONFIGS.items():
+        for nranks in SCALES:
+            graph = builder(nranks, params=CSCS_TESTBED, **knobs)
+            sweeps[(name, nranks)] = run_validation_sweep(
+                graph, CSCS_TESTBED, app=name, delta_Ls=deltas, repetitions=1
+            )
+    return sweeps
+
+
+def test_fig09_validation(run_once):
+    sweeps = run_once(_run)
+
+    print_header("Figure 9 — validation across applications and scales")
+    summary_rows = []
+    for (name, nranks), sweep in sweeps.items():
+        summary_rows.append([
+            name, nranks, sweep.num_events,
+            sweep.rrmse * 100.0,
+            sweep.tolerance.delta_tolerance(0.01),
+            sweep.tolerance.delta_tolerance(0.02),
+            sweep.tolerance.delta_tolerance(0.05),
+        ])
+    print_rows(["app", "ranks", "events", "RRMSE %", "1% tol", "2% tol", "5% tol"],
+               summary_rows)
+
+    for (name, nranks), sweep in sweeps.items():
+        print(f"\n{name} @ {nranks} ranks — runtime [s], λ_L and ρ_L vs ΔL")
+        print_rows(
+            ["ΔL [µs]", "measured", "predicted", "λ_L", "ρ_L %"],
+            [[r["delta_L_us"], r["measured_us"] / 1e6, r["predicted_us"] / 1e6,
+              r["lambda_L"], r["rho_L"] * 100] for r in sweep.rows()],
+        )
+
+    for (name, nranks), sweep in sweeps.items():
+        # headline accuracy claim
+        assert sweep.rrmse < 0.02, (name, nranks, sweep.rrmse)
+        # λ_L is a non-decreasing step function of ΔL
+        assert np.all(np.diff(sweep.latency_sensitivity) >= -1e-9)
+
+    # strong scaling shrinks the tolerance (MILC, ICON); weak scaling keeps the
+    # order of magnitude (LULESH, HPCG)
+    for strong in ("MILC", "ICON"):
+        assert (sweeps[(strong, SCALES[1])].tolerance.delta_tolerance(0.01)
+                < sweeps[(strong, SCALES[0])].tolerance.delta_tolerance(0.01))
+    for weak in ("LULESH", "HPCG"):
+        small = sweeps[(weak, SCALES[0])].tolerance.delta_tolerance(0.01)
+        large = sweeps[(weak, SCALES[1])].tolerance.delta_tolerance(0.01)
+        assert large > 0.3 * small

@@ -1,0 +1,67 @@
+"""Figure 20 — rank placement: block vs LLAMP (Algorithm 3) vs a Scotch-like
+volume-based baseline, on ICON.
+
+The paper's preliminary result: the sensitivity-guided placement gives a
+small (sub-1 %) improvement over the block mapping on ICON, while the
+volume-only baseline is slightly worse.  The shape to verify here is that the
+LLAMP placement never degrades the predicted runtime and that all three
+mappings stay within a few percent of each other on this already
+well-balanced application.
+"""
+
+from __future__ import annotations
+
+from repro import PIZ_DAINT
+from repro.apps import icon
+from repro.network import ArchitectureGraph, block_mapping
+from repro.placement import llamp_placement, predicted_runtime, volume_greedy_placement
+
+from conftest import print_header, print_rows
+
+NRANKS = 8
+NODES = 4
+STEPS = 6
+
+
+def _run():
+    params = PIZ_DAINT
+    graph = icon.build(NRANKS, params=params, steps=STEPS)
+    arch = ArchitectureGraph(
+        num_nodes=NODES,
+        processes_per_node=NRANKS // NODES,
+        intra_node_latency=0.3,
+        inter_node_latency=params.L,
+    )
+    block = block_mapping(NRANKS, arch)
+    scotch_like = volume_greedy_placement(graph, arch)
+    llamp = llamp_placement(graph, params, arch, initial_mapping=block, max_iterations=6)
+
+    runtimes = {
+        "block (default)": predicted_runtime(graph, params, arch, block),
+        "LLAMP (Alg. 3)": llamp.predicted_runtime,
+        "Scotch-like (volume)": predicted_runtime(graph, params, arch, scotch_like),
+    }
+    return runtimes, llamp, block, scotch_like
+
+
+def test_fig20_rank_placement(run_once):
+    runtimes, llamp, block, scotch_like = run_once(_run)
+
+    print_header(f"Figure 20 — ICON rank placement ({NRANKS} ranks on {NODES} nodes)")
+    baseline = runtimes["block (default)"]
+    print_rows(
+        ["mapping", "predicted runtime [s]", "vs block [%]"],
+        [[name, value / 1e6, (value - baseline) / baseline * 100.0]
+         for name, value in runtimes.items()],
+    )
+    print(f"\nLLAMP placement swaps applied: {llamp.swaps or 'none'}")
+    print(f"block mapping      : {block}")
+    print(f"LLAMP mapping      : {llamp.mapping}")
+    print(f"volume-greedy map  : {scotch_like}")
+
+    # the LLAMP placement never degrades the predicted runtime …
+    assert runtimes["LLAMP (Alg. 3)"] <= baseline * (1 + 1e-9)
+    # … and, as in the paper, all mappings are within a few percent of each
+    # other for this well-balanced application
+    for value in runtimes.values():
+        assert abs(value - baseline) / baseline < 0.05

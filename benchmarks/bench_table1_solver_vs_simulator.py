@@ -1,0 +1,99 @@
+"""Table I / Figure 7 — runtime of the LP analysis vs the LogGOPS simulator.
+
+The paper sweeps the network latency from 3 µs to 13 µs in 1 µs steps and
+measures how long (a) LLAMP with Gurobi and (b) LogGOPSim take to produce the
+runtime predictions for the NPB kernels, LULESH and LAMMPS.  Here the same
+sweep runs against our HiGHS-based LP pipeline and our discrete-event
+simulator.  The quantitative claim to check is the *shape*: the LP analysis
+(which additionally yields λ_L, tolerances and critical latencies) stays
+within a small factor of — and is usually faster per evaluation point than —
+re-simulating, and the gap does not close as the graphs grow.
+
+Appendix E's LP-generation overhead (seconds per million vertices) is
+reported as well.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import CSCS_TESTBED
+from repro.apps import lammps, lulesh, npb
+from repro.core.lp_builder import build_lp
+from repro.simulator import simulate
+
+from conftest import print_header, print_rows
+
+NRANKS = 8
+SWEEP = [3.0 + i for i in range(0, 11, 2)]  # 3..13 µs, 2 µs steps (scaled down)
+
+WORKLOADS = {
+    "NPB BT": lambda: npb.build_bt(NRANKS, params=CSCS_TESTBED, iterations=12),
+    "NPB CG": lambda: npb.build_cg(NRANKS, params=CSCS_TESTBED, iterations=20),
+    "NPB EP": lambda: npb.build_ep(NRANKS, params=CSCS_TESTBED),
+    "NPB FT": lambda: npb.build_ft(NRANKS, params=CSCS_TESTBED, iterations=4),
+    "NPB LU": lambda: npb.build_lu(NRANKS, params=CSCS_TESTBED, iterations=10),
+    "NPB MG": lambda: npb.build_mg(NRANKS, params=CSCS_TESTBED, vcycles=6),
+    "NPB SP": lambda: npb.build_sp(NRANKS, params=CSCS_TESTBED, iterations=15),
+    "LULESH": lambda: lulesh.build(NRANKS, params=CSCS_TESTBED, iterations=15),
+    "LAMMPS": lambda: lammps.build(NRANKS, params=CSCS_TESTBED, steps=20),
+}
+
+
+def _run_table():
+    rows = []
+    for name, factory in WORKLOADS.items():
+        graph = factory()
+
+        t0 = time.perf_counter()
+        lp = build_lp(graph, CSCS_TESTBED)
+        build_time = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        lp_runtimes = [lp.solve_runtime(L=L).objective for L in SWEEP]
+        lp_time = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        sim_runtimes = [
+            simulate(graph, CSCS_TESTBED.with_latency(L)).makespan for L in SWEEP
+        ]
+        sim_time = time.perf_counter() - t0
+
+        agreement = float(np.max(np.abs(np.array(lp_runtimes) - np.array(sim_runtimes))
+                                 / np.array(sim_runtimes)))
+        rows.append({
+            "app": name,
+            "events": graph.num_events,
+            "build_s": build_time,
+            "llamp_s": lp_time,
+            "sim_s": sim_time,
+            "agreement": agreement,
+        })
+    return rows
+
+
+def test_table1_solver_vs_simulator(run_once):
+    rows = run_once(_run_table)
+
+    print_header("Table I / Fig. 7 — LP analysis vs LogGOPS simulation "
+                 f"({len(SWEEP)}-point latency sweep, {NRANKS} ranks)")
+    print_rows(
+        ["app", "events", "LP build [s]", "LLAMP sweep [s]", "simulator sweep [s]",
+         "ratio sim/LLAMP", "max rel. diff"],
+        [[r["app"], r["events"], r["build_s"], r["llamp_s"], r["sim_s"],
+          r["sim_s"] / max(r["llamp_s"], 1e-9), r["agreement"]] for r in rows],
+    )
+    per_million = [r["build_s"] / max(r["events"], 1) * 1e6 for r in rows]
+    print(f"\nLP generation overhead: {np.mean(per_million):.1f} s per million vertices "
+          "(paper: < 15 s per million, Appendix E)")
+
+    # both pipelines must agree on the predicted runtimes (same model)
+    for r in rows:
+        assert r["agreement"] < 1e-6, r
+    # the analysis must remain competitive with re-simulation across the board:
+    # in the paper the solver wins by >6x; we only assert it is not an order of
+    # magnitude slower at any size, and that the sweep finishes.
+    for r in rows:
+        assert r["llamp_s"] < 10 * r["sim_s"] + 1.0, r

@@ -1,0 +1,64 @@
+"""Table II — per-application validation summary (o, events, RMSE, RRMSE).
+
+The paper reports, for every evaluated application and scale, the overhead
+``o`` it measured, the number of events in the execution graph, and the RMSE
+/ RRMSE between measured and predicted runtimes (all RRMSE < 2 %).  This
+benchmark regenerates that table for every application skeleton at one scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CSCS_TESTBED
+from repro.analysis import run_validation_sweep
+from repro.apps import VALIDATION_APPS
+
+from conftest import print_header, print_rows
+
+NRANKS = 8
+KNOBS = {
+    "lulesh": dict(iterations=12),
+    "hpcg": dict(iterations=8),
+    "milc": dict(trajectories=2, cg_iterations=8),
+    "icon": dict(steps=8),
+    "lammps": dict(steps=20),
+    "openmx": dict(scf_iterations=8),
+    "cloverleaf": dict(steps=20),
+}
+#: per-application overheads measured in the paper (Table II, 8-node column)
+PAPER_OVERHEADS = {
+    "lulesh": 5.0, "hpcg": 5.6, "milc": 6.0, "icon": 20.0,
+    "lammps": 32.4, "openmx": 15.6, "cloverleaf": 6.1,
+}
+
+
+def _run():
+    results = {}
+    for name, module in VALIDATION_APPS.items():
+        params = CSCS_TESTBED.with_overhead(PAPER_OVERHEADS[name])
+        graph = module.build(NRANKS, params=params, **KNOBS[name])
+        results[name] = run_validation_sweep(
+            graph, params, app=name, delta_Ls=np.linspace(0, 100, 5), repetitions=1
+        )
+    return results
+
+
+def test_table2_validation(run_once):
+    results = run_once(_run)
+
+    print_header("Table II — validation results (8 ranks, paper-measured o per app)")
+    rows = []
+    for name, sweep in results.items():
+        rows.append([
+            name,
+            PAPER_OVERHEADS[name],
+            sweep.num_events,
+            sweep.rmse / 1e6,
+            sweep.rrmse * 100.0,
+        ])
+    print_rows(["application", "o [µs]", "events", "RMSE [s]", "RRMSE %"], rows)
+
+    for name, sweep in results.items():
+        assert sweep.rrmse < 0.02, (name, sweep.rrmse)
+        assert sweep.num_events > 100

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Survey the latency tolerance of every application skeleton (Fig. 1 / Fig. 9).
+
+For each application of the paper's validation section this example builds the
+execution graph, runs the measured-vs-predicted ΔL sweep (simulator vs LP) and
+prints the 1/2/5 % tolerance together with the prediction error — a compact
+version of the paper's Fig. 9 / Table II.
+
+Run it with ``python examples/latency_tolerance_survey.py`` (about a minute).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CSCS_TESTBED
+from repro.analysis import run_validation_sweep
+from repro.apps import VALIDATION_APPS
+
+NRANKS = 8
+KNOBS = {
+    "lulesh": dict(iterations=12),
+    "hpcg": dict(iterations=8),
+    "milc": dict(trajectories=2, cg_iterations=8),
+    "icon": dict(steps=8),
+    "lammps": dict(steps=20),
+    "openmx": dict(scf_iterations=8),
+    "cloverleaf": dict(steps=20),
+}
+
+
+def main() -> None:
+    print(f"{'application':<12s} {'events':>8s} {'runtime[s]':>11s} "
+          f"{'1% ΔL[µs]':>10s} {'2% ΔL[µs]':>10s} {'5% ΔL[µs]':>10s} {'RRMSE[%]':>9s}")
+    for name, module in VALIDATION_APPS.items():
+        graph = module.build(NRANKS, params=CSCS_TESTBED, **KNOBS[name])
+        sweep = run_validation_sweep(
+            graph, CSCS_TESTBED, app=name,
+            delta_Ls=np.linspace(0.0, 100.0, 5), repetitions=1,
+        )
+        tol = sweep.tolerance
+        print(f"{name:<12s} {graph.num_events:>8d} "
+              f"{tol.baseline_runtime / 1e6:>11.3f} "
+              f"{tol.delta_tolerance(0.01):>10.1f} "
+              f"{tol.delta_tolerance(0.02):>10.1f} "
+              f"{tol.delta_tolerance(0.05):>10.1f} "
+              f"{sweep.rrmse * 100:>9.3f}")
+    print("\n(orderings to compare with the paper: MILC is the least tolerant, "
+          "ICON the most; all RRMSE values stay below 2 %)")
+
+
+if __name__ == "__main__":
+    main()

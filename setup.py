@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that ``python setup.py develop`` keeps working on minimal,
+offline environments that lack the ``wheel`` package required for PEP 660
+editable installs.
+"""
+
+from setuptools import setup
+
+setup()

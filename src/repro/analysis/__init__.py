@@ -1,0 +1,13 @@
+"""Validation metrics and experiment harnesses."""
+
+from .metrics import max_relative_error, mean_absolute_percentage_error, rmse, rrmse
+from .validation import ValidationSweep, run_validation_sweep
+
+__all__ = [
+    "rmse",
+    "rrmse",
+    "mean_absolute_percentage_error",
+    "max_relative_error",
+    "ValidationSweep",
+    "run_validation_sweep",
+]

@@ -1,0 +1,59 @@
+"""Error metrics used in the paper's validation (RMSE / RRMSE).
+
+The paper reports the root-mean-square error and the *relative* RMSE
+(RRMSE, Despotovic et al.) between measured and predicted runtimes across a
+ΔL sweep, with values consistently below 2 % (Section III-C, Table II).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["rmse", "rrmse", "mean_absolute_percentage_error", "max_relative_error"]
+
+
+def _validate(measured: Sequence[float], predicted: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    m = np.asarray(measured, dtype=np.float64)
+    p = np.asarray(predicted, dtype=np.float64)
+    if m.shape != p.shape:
+        raise ValueError(f"shape mismatch: measured {m.shape} vs predicted {p.shape}")
+    if m.size == 0:
+        raise ValueError("need at least one sample")
+    return m, p
+
+
+def rmse(measured: Sequence[float], predicted: Sequence[float]) -> float:
+    """Root-mean-square error, in the same unit as the inputs."""
+    m, p = _validate(measured, predicted)
+    return float(np.sqrt(np.mean((m - p) ** 2)))
+
+
+def rrmse(measured: Sequence[float], predicted: Sequence[float]) -> float:
+    """Relative RMSE: RMSE normalised by the mean measured value.
+
+    Returned as a fraction (multiply by 100 for the percentages quoted in
+    Fig. 9 / Table II).
+    """
+    m, p = _validate(measured, predicted)
+    mean = float(np.mean(m))
+    if mean == 0:
+        raise ValueError("mean of the measured values is zero")
+    return rmse(m, p) / abs(mean)
+
+
+def mean_absolute_percentage_error(measured: Sequence[float], predicted: Sequence[float]) -> float:
+    """MAPE as a fraction (useful as an alternative accuracy summary)."""
+    m, p = _validate(measured, predicted)
+    if np.any(m == 0):
+        raise ValueError("measured values must be non-zero for MAPE")
+    return float(np.mean(np.abs((m - p) / m)))
+
+
+def max_relative_error(measured: Sequence[float], predicted: Sequence[float]) -> float:
+    """Worst-case relative error over the sweep, as a fraction."""
+    m, p = _validate(measured, predicted)
+    if np.any(m == 0):
+        raise ValueError("measured values must be non-zero")
+    return float(np.max(np.abs((m - p) / m)))

@@ -1,0 +1,61 @@
+"""CloverLeaf skeleton (2-D structured compressible Euler hydrodynamics).
+
+CloverLeaf advances the compressible Euler equations on a 2-D staggered
+grid.  Per time step the skeleton runs the PdV / flux / advection kernels,
+exchanges one- and two-deep halos with the four face neighbours of a 2-D
+process grid, and reduces the global time-step and field summaries.
+
+CloverLeaf appears in Table II of the paper (128 processes, 162 K events).
+"""
+
+from __future__ import annotations
+
+from ..mpi.api import VirtualComm, run_program
+from ..mpi.program import Program
+from ._base import AppDescriptor, cartesian_grid, halo_exchange, make_build, neighbor_ranks
+
+__all__ = ["DESCRIPTOR", "program", "build"]
+
+DESCRIPTOR = AppDescriptor(
+    name="cloverleaf",
+    full_name="CloverLeaf 2-D hydrodynamics mini-app",
+    scaling="weak",
+    domains="hydrodynamics",
+)
+
+
+def program(
+    nranks: int,
+    *,
+    steps: int = 50,
+    compute_per_step: float = 4500.0,
+    halo_bytes: int = 12_288,
+    summary_every: int = 10,
+) -> Program:
+    """Record the CloverLeaf skeleton (weak scaling, fixed tile per rank)."""
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    dims = cartesian_grid(nranks, 2)
+
+    def rank_fn(comm: VirtualComm) -> None:
+        neighbors = neighbor_ranks(comm.rank, dims, periodic=False)
+        tag = 0
+        for step in range(steps):
+            # PdV + acceleration kernels, halo for velocity fields
+            halo_exchange(comm, neighbors, halo_bytes, tag=tag,
+                          overlap_compute=compute_per_step * 0.25)
+            comm.compute(compute_per_step * 0.35)
+            tag += 1
+            # advection sweep, halo for energy/density fields
+            halo_exchange(comm, neighbors, halo_bytes // 2, tag=tag,
+                          overlap_compute=compute_per_step * 0.15)
+            comm.compute(compute_per_step * 0.25)
+            tag += 1
+            comm.allreduce(8)  # time-step control
+            if (step + 1) % summary_every == 0:
+                comm.allreduce(56)  # field summary
+
+    return run_program(rank_fn, nranks, app="cloverleaf", scaling=DESCRIPTOR.scaling)
+
+
+build = make_build(program)

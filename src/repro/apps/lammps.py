@@ -1,0 +1,84 @@
+"""LAMMPS skeleton (EAM metallic-solid molecular dynamics benchmark).
+
+The EAM benchmark integrates Newton's equations for a block of copper atoms.
+Per MD time step the skeleton
+
+1. exchanges ghost atoms with the six face neighbours (forward
+   communication), partially overlapped with the pair/EAM force computation,
+2. returns ghost forces (reverse communication),
+3. every ``neighbor_every`` steps rebuilds the neighbour lists, which
+   involves an extra border exchange,
+4. every ``thermo_every`` steps reduces thermodynamic output with an
+   ``MPI_Allreduce``.
+
+The paper runs LAMMPS under weak scaling with 256 000 atoms per rank; this
+skeleton keeps the per-rank atom count fixed, too.
+"""
+
+from __future__ import annotations
+
+from ..mpi.api import VirtualComm, run_program
+from ..mpi.program import Program
+from ._base import AppDescriptor, cartesian_grid, halo_exchange, make_build, neighbor_ranks
+
+__all__ = ["DESCRIPTOR", "program", "build"]
+
+DESCRIPTOR = AppDescriptor(
+    name="lammps",
+    full_name="LAMMPS EAM metallic solid benchmark",
+    scaling="weak",
+    domains="molecular dynamics",
+)
+
+#: microseconds of force computation per atom and step (scaled-down skeleton)
+_COMPUTE_PER_ATOM = 0.012
+#: bytes exchanged per ghost atom (position + type)
+_BYTES_PER_GHOST_ATOM = 32
+
+
+def program(
+    nranks: int,
+    *,
+    steps: int = 60,
+    atoms_per_rank: int = 256_000,
+    neighbor_every: int = 10,
+    thermo_every: int = 5,
+    compute_per_atom: float = _COMPUTE_PER_ATOM,
+) -> Program:
+    """Record the LAMMPS EAM skeleton (weak scaling, fixed atoms per rank)."""
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    dims = cartesian_grid(nranks, 3)
+    # ghost shell holds roughly the atoms within one cutoff of a face
+    ghost_atoms = max(int(round(atoms_per_rank ** (2.0 / 3.0))), 1)
+    halo_bytes = ghost_atoms * _BYTES_PER_GHOST_ATOM
+    force_compute = atoms_per_rank * compute_per_atom
+
+    def rank_fn(comm: VirtualComm) -> None:
+        neighbors = neighbor_ranks(comm.rank, dims, periodic=True)
+        tag = 0
+        for step in range(steps):
+            # forward communication of ghost positions, overlapped with the
+            # local (owned-owned) force computation
+            halo_exchange(
+                comm,
+                neighbors,
+                halo_bytes,
+                tag=tag,
+                overlap_compute=force_compute * 0.55,
+            )
+            comm.compute(force_compute * 0.35)
+            # reverse communication of ghost forces
+            halo_exchange(comm, neighbors, halo_bytes, tag=tag + 1, overlap_compute=0.0)
+            comm.compute(force_compute * 0.10)
+            tag += 2
+            if (step + 1) % neighbor_every == 0:
+                halo_exchange(comm, neighbors, halo_bytes // 2, tag=tag, overlap_compute=0.0)
+                tag += 1
+            if (step + 1) % thermo_every == 0:
+                comm.allreduce(48)  # energies / pressure
+
+    return run_program(rank_fn, nranks, app="lammps", scaling=DESCRIPTOR.scaling)
+
+
+build = make_build(program)

@@ -1,0 +1,94 @@
+"""LULESH skeleton (Livermore Unstructured Lagrangian Explicit Shock Hydro).
+
+LULESH advances an explicit hydrodynamics time loop on a 3-D structured
+domain.  Per time step the proxy app
+
+1. computes the Lagrangian nodal/element kinematics,
+2. exchanges face halos with its (up to six) neighbours in the 3-D
+   process grid — posted non-blocking, partially overlapped with the
+   element-centred computation,
+3. performs one 8-byte ``MPI_Allreduce`` to agree on the next time-step
+   increment (the Courant/ hydro constraint).
+
+The paper runs LULESH under *weak scaling* (``-s 16`` elements per rank,
+1000 iterations); this skeleton keeps the per-rank problem size fixed, too,
+so the latency tolerance stays roughly constant as ranks are added
+(Section III-C).
+"""
+
+from __future__ import annotations
+
+from ..mpi.api import VirtualComm, run_program
+from ..mpi.program import Program
+from ._base import AppDescriptor, cartesian_grid, halo_exchange, make_build, neighbor_ranks
+
+__all__ = ["DESCRIPTOR", "program", "build"]
+
+DESCRIPTOR = AppDescriptor(
+    name="lulesh",
+    full_name="LULESH 2.0 explicit shock hydrodynamics proxy",
+    scaling="weak",
+    domains="hydrodynamics",
+)
+
+#: bytes per element field exchanged across a face (3 fields of 8 bytes)
+_BYTES_PER_FACE_ELEMENT = 24
+
+
+def program(
+    nranks: int,
+    *,
+    iterations: int = 40,
+    side: int = 16,
+    compute_per_iteration: float = 5200.0,
+    overlap_fraction: float = 0.012,
+    post_compute: float = 300.0,
+) -> Program:
+    """Record the LULESH skeleton.
+
+    Parameters
+    ----------
+    iterations:
+        Number of time steps (the paper uses 1000; the default keeps graphs
+        laptop-sized — scale it up for paper-sized experiments).
+    side:
+        Elements per rank per dimension (``-s`` in LULESH); sets the halo
+        message size ``side² · 24`` bytes.
+    compute_per_iteration:
+        Microseconds of element/nodal computation per time step and rank.
+    overlap_fraction:
+        Fraction of the per-step computation that can overlap the halo
+        exchange (LULESH overlaps force computation with the nodal halo).
+    post_compute:
+        Microseconds of computation after the halo completes (EOS update)
+        before the time-step allreduce.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    if side < 2:
+        raise ValueError("side must be >= 2")
+    dims = cartesian_grid(nranks, 3)
+    face_bytes = side * side * _BYTES_PER_FACE_ELEMENT
+    overlap = compute_per_iteration * overlap_fraction
+    main_compute = compute_per_iteration - overlap - post_compute
+    if main_compute < 0:
+        raise ValueError("compute_per_iteration too small for the requested overlap")
+
+    def rank_fn(comm: VirtualComm) -> None:
+        neighbors = neighbor_ranks(comm.rank, dims, periodic=False)
+        for it in range(iterations):
+            comm.compute(main_compute)
+            halo_exchange(
+                comm,
+                neighbors,
+                face_bytes,
+                tag=it,
+                overlap_compute=overlap,
+            )
+            comm.compute(post_compute)
+            comm.allreduce(8)  # global time-step constraint
+
+    return run_program(rank_fn, nranks, app="lulesh", scaling=DESCRIPTOR.scaling)
+
+
+build = make_build(program)

@@ -1,0 +1,88 @@
+"""MILC ``su3_rmd`` skeleton (MIMD Lattice Computation, lattice QCD).
+
+``su3_rmd`` evolves an SU(3) gauge field with a molecular-dynamics
+trajectory whose inner loop is a conjugate-gradient solve of the staggered
+Dirac operator.  Communication-wise each CG iteration applies the
+nearest-neighbour stencil on a 4-D lattice (eight neighbours) and reduces a
+residual norm — which puts an ``MPI_Allreduce`` between every pair of
+stencil applications and makes MILC the *least* latency-tolerant application
+in the paper (Fig. 1, Fig. 9).
+
+The paper runs MILC under *strong scaling* on a fixed ``16⁴`` lattice: the
+per-rank computation shrinks with the rank count while the number of
+dependent messages per iteration stays, so the latency tolerance drops
+sharply at scale — this skeleton divides the fixed global volume among the
+ranks to reproduce that trend.
+"""
+
+from __future__ import annotations
+
+from ..mpi.api import VirtualComm, run_program
+from ..mpi.program import Program
+from ._base import AppDescriptor, cartesian_grid, halo_exchange, make_build, neighbor_ranks
+
+__all__ = ["DESCRIPTOR", "program", "build"]
+
+DESCRIPTOR = AppDescriptor(
+    name="milc",
+    full_name="MILC su3_rmd lattice QCD",
+    scaling="strong",
+    domains="lattice quantum chromodynamics",
+)
+
+#: microseconds of fermion-force / Dslash computation per lattice site and CG iteration
+_COMPUTE_PER_SITE = 0.30
+#: bytes moved per boundary site (SU(3) vector of 3 complex doubles)
+_BYTES_PER_BOUNDARY_SITE = 48
+
+
+def program(
+    nranks: int,
+    *,
+    trajectories: int = 4,
+    cg_iterations: int = 18,
+    lattice_extent: int = 16,
+    compute_per_site: float = _COMPUTE_PER_SITE,
+) -> Program:
+    """Record the MILC ``su3_rmd`` skeleton.
+
+    ``lattice_extent`` is the global 4-D lattice edge (16 in the paper's
+    ``16x16x16x16.chlat`` input); the global volume is divided among the
+    ranks (strong scaling).  Each trajectory runs ``cg_iterations`` CG steps;
+    every CG step is a 4-D halo exchange followed by a residual allreduce.
+    """
+    if trajectories < 1 or cg_iterations < 1:
+        raise ValueError("trajectories and cg_iterations must be >= 1")
+    dims = cartesian_grid(nranks, 4)
+    global_volume = lattice_extent**4
+    local_volume = max(global_volume // nranks, 1)
+    # surface sites of the local 4-D sub-lattice (approximate: 8 faces of
+    # volume^(3/4) sites each)
+    face_sites = max(int(round(local_volume ** 0.75)), 1)
+    halo_bytes = face_sites * _BYTES_PER_BOUNDARY_SITE
+    cg_compute = local_volume * compute_per_site
+
+    def rank_fn(comm: VirtualComm) -> None:
+        neighbors = neighbor_ranks(comm.rank, dims, periodic=True)
+        tag = 0
+        for _traj in range(trajectories):
+            # gauge-field update between solves
+            comm.compute(cg_compute * 2.0)
+            for _cg in range(cg_iterations):
+                halo_exchange(
+                    comm,
+                    neighbors,
+                    halo_bytes,
+                    tag=tag,
+                    overlap_compute=cg_compute * 0.3,
+                )
+                comm.compute(cg_compute * 0.7)
+                comm.allreduce(8)  # residual norm
+                tag += 1
+            # trajectory-level plaquette measurement
+            comm.allreduce(64)
+
+    return run_program(rank_fn, nranks, app="milc", scaling=DESCRIPTOR.scaling)
+
+
+build = make_build(program)

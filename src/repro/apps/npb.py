@@ -1,0 +1,300 @@
+"""NAS Parallel Benchmarks skeletons (BT, CG, EP, FT, LU, MG, SP).
+
+The NPB kernels appear in the paper's Table I / Fig. 7, which compares the
+runtime of LLAMP's LP solve against LogGOPSim across execution graphs of very
+different sizes and communication structures.  The skeletons below reproduce
+the *communication structure* of each kernel (what matters for that
+comparison and for the latency analysis); problem-class constants are scaled
+down so the whole suite stays laptop-sized.
+
+=====  ===============================================================
+BT/SP  alternating-direction implicit solvers: three sweep phases per
+       iteration, each exchanging faces with the two neighbours of the
+       corresponding dimension of a 3-D process grid
+CG     conjugate gradient on an unstructured matrix: row/column exchanges
+       plus two dot-product allreduces per iteration
+EP     embarrassingly parallel: pure computation with a final reduction
+FT     3-D FFT: one global transpose (``MPI_Alltoall``) per iteration
+LU     pipelined SSOR wavefront: long chains of small dependent messages
+MG     multigrid V-cycle: halo exchanges whose size shrinks with the level
+=====  ===============================================================
+"""
+
+from __future__ import annotations
+
+from ..mpi.api import VirtualComm, run_program
+from ..mpi.program import Program
+from ._base import AppDescriptor, cartesian_grid, grid_coords, grid_rank, halo_exchange, make_build, neighbor_ranks
+
+__all__ = [
+    "KERNELS",
+    "program_bt",
+    "program_cg",
+    "program_ep",
+    "program_ft",
+    "program_lu",
+    "program_mg",
+    "program_sp",
+    "build_bt",
+    "build_cg",
+    "build_ep",
+    "build_ft",
+    "build_lu",
+    "build_mg",
+    "build_sp",
+    "program",
+    "build",
+]
+
+DESCRIPTOR = AppDescriptor(
+    name="npb",
+    full_name="NAS Parallel Benchmarks (class-scaled skeletons)",
+    scaling="strong",
+    domains="CFD kernels",
+)
+
+
+def _sweep_exchange(comm: VirtualComm, dims, axis: int, size: int, tag: int,
+                    compute: float) -> None:
+    """One ADI sweep phase: exchange with the ±1 neighbours along ``axis``."""
+    coords = grid_coords(comm.rank, dims)
+    requests = []
+    for direction in (-1, +1):
+        if dims[axis] == 1:
+            continue
+        shifted = list(coords)
+        shifted[axis] = (coords[axis] + direction) % dims[axis]
+        peer = grid_rank(shifted, dims)
+        if peer == comm.rank:
+            continue
+        requests.append(comm.irecv(peer, size, tag=tag))
+        requests.append(comm.isend(peer, size, tag=tag))
+    comm.compute(compute)
+    if requests:
+        comm.waitall(requests)
+
+
+# ---------------------------------------------------------------------------
+# BT / SP — ADI solvers
+# ---------------------------------------------------------------------------
+
+def _program_adi(nranks: int, *, iterations: int, compute_per_iteration: float,
+                 face_bytes: int, name: str) -> Program:
+    dims = cartesian_grid(nranks, 3)
+    per_phase = compute_per_iteration / 3.0
+
+    def rank_fn(comm: VirtualComm) -> None:
+        tag = 0
+        for _ in range(iterations):
+            for axis in range(3):
+                _sweep_exchange(comm, dims, axis, face_bytes, tag, per_phase)
+                tag += 1
+            comm.allreduce(40)  # residual norms
+
+    return run_program(rank_fn, nranks, app=name, scaling="strong")
+
+
+def program_bt(nranks: int, *, iterations: int = 30,
+               compute_per_iteration: float = 9000.0, face_bytes: int = 20_000) -> Program:
+    """NPB BT: block-tridiagonal ADI solver."""
+    return _program_adi(
+        nranks, iterations=iterations, compute_per_iteration=compute_per_iteration,
+        face_bytes=face_bytes, name="npb_bt",
+    )
+
+
+def program_sp(nranks: int, *, iterations: int = 40,
+               compute_per_iteration: float = 6000.0, face_bytes: int = 14_000) -> Program:
+    """NPB SP: scalar-pentadiagonal ADI solver."""
+    return _program_adi(
+        nranks, iterations=iterations, compute_per_iteration=compute_per_iteration,
+        face_bytes=face_bytes, name="npb_sp",
+    )
+
+
+# ---------------------------------------------------------------------------
+# CG — conjugate gradient
+# ---------------------------------------------------------------------------
+
+def program_cg(nranks: int, *, iterations: int = 50,
+               compute_per_iteration: float = 4000.0, exchange_bytes: int = 56_000) -> Program:
+    """NPB CG: sparse matrix-vector products on a 2-D processor grid."""
+    def rank_fn(comm: VirtualComm) -> None:
+        # vector-exchange partner: pair adjacent ranks (an involution, so every
+        # send has a matching receive on the partner)
+        partner = comm.rank ^ 1
+        if partner >= comm.size:
+            partner = comm.rank
+        ring_next = (comm.rank + 1) % comm.size
+        ring_prev = (comm.rank - 1) % comm.size
+        for it in range(iterations):
+            comm.compute(compute_per_iteration * 0.7)
+            if partner != comm.rank:
+                comm.sendrecv(partner, exchange_bytes, partner, exchange_bytes,
+                              send_tag=it, recv_tag=it)
+            if comm.size > 1:
+                comm.sendrecv(ring_next, exchange_bytes // 2, ring_prev,
+                              exchange_bytes // 2, send_tag=10_000 + it, recv_tag=10_000 + it)
+            comm.compute(compute_per_iteration * 0.3)
+            comm.allreduce(8)   # rho
+            comm.allreduce(8)   # alpha / norm
+
+    return run_program(rank_fn, nranks, app="npb_cg", scaling="strong")
+
+
+# ---------------------------------------------------------------------------
+# EP — embarrassingly parallel
+# ---------------------------------------------------------------------------
+
+def program_ep(nranks: int, *, compute_total: float = 250_000.0, chunks: int = 8) -> Program:
+    """NPB EP: random-number generation with a final reduction only."""
+
+    def rank_fn(comm: VirtualComm) -> None:
+        per_chunk = compute_total / chunks
+        for _ in range(chunks):
+            comm.compute(per_chunk)
+        comm.allreduce(80)   # Gaussian pair counts
+        comm.allreduce(16)   # sums
+        comm.allreduce(8)    # verification value
+
+    return run_program(rank_fn, nranks, app="npb_ep", scaling="strong")
+
+
+# ---------------------------------------------------------------------------
+# FT — 3-D FFT
+# ---------------------------------------------------------------------------
+
+def program_ft(nranks: int, *, iterations: int = 8,
+               compute_per_iteration: float = 30_000.0, transpose_bytes: int = 64_000) -> Program:
+    """NPB FT: per iteration one global transpose (alltoall) plus local FFTs.
+
+    ``transpose_bytes`` is the per-peer payload of the alltoall.
+    """
+
+    def rank_fn(comm: VirtualComm) -> None:
+        for _ in range(iterations):
+            comm.compute(compute_per_iteration * 0.6)
+            comm.alltoall(max(transpose_bytes // max(comm.size, 1), 64))
+            comm.compute(compute_per_iteration * 0.4)
+            comm.allreduce(16)  # checksum
+
+    return run_program(rank_fn, nranks, app="npb_ft", scaling="strong")
+
+
+# ---------------------------------------------------------------------------
+# LU — pipelined SSOR
+# ---------------------------------------------------------------------------
+
+def program_lu(nranks: int, *, iterations: int = 25,
+               compute_per_iteration: float = 5000.0, pencil_bytes: int = 4000) -> Program:
+    """NPB LU: wavefront sweeps with chains of small dependent messages.
+
+    Each iteration performs a lower-triangular sweep (receive from the
+    north/west neighbours, compute, send to the south/east neighbours) and
+    the mirrored upper-triangular sweep, producing the long message chains
+    that make LU communication-bound and its execution graph deep.
+    """
+    dims = cartesian_grid(nranks, 2)
+    blocks = 4  # pipeline depth per sweep
+    per_block = compute_per_iteration / (2.0 * blocks)
+
+    def rank_fn(comm: VirtualComm) -> None:
+        coords = grid_coords(comm.rank, dims)
+        north = grid_rank(((coords[0] - 1) % dims[0], coords[1]), dims) if dims[0] > 1 else -1
+        south = grid_rank(((coords[0] + 1) % dims[0], coords[1]), dims) if dims[0] > 1 else -1
+        west = grid_rank((coords[0], (coords[1] - 1) % dims[1]), dims) if dims[1] > 1 else -1
+        east = grid_rank((coords[0], (coords[1] + 1) % dims[1]), dims) if dims[1] > 1 else -1
+        tag = 0
+        for _ in range(iterations):
+            # lower sweep: wavefront travels from (0, 0) to (P-1, P-1)
+            for _block in range(blocks):
+                if north >= 0 and coords[0] > 0:
+                    comm.recv(north, pencil_bytes, tag=tag)
+                if west >= 0 and coords[1] > 0:
+                    comm.recv(west, pencil_bytes, tag=tag + 1)
+                comm.compute(per_block)
+                if south >= 0 and coords[0] < dims[0] - 1:
+                    comm.send(south, pencil_bytes, tag=tag)
+                if east >= 0 and coords[1] < dims[1] - 1:
+                    comm.send(east, pencil_bytes, tag=tag + 1)
+            tag += 2
+            # upper sweep: wavefront travels back
+            for _block in range(blocks):
+                if south >= 0 and coords[0] < dims[0] - 1:
+                    comm.recv(south, pencil_bytes, tag=tag)
+                if east >= 0 and coords[1] < dims[1] - 1:
+                    comm.recv(east, pencil_bytes, tag=tag + 1)
+                comm.compute(per_block)
+                if north >= 0 and coords[0] > 0:
+                    comm.send(north, pencil_bytes, tag=tag)
+                if west >= 0 and coords[1] > 0:
+                    comm.send(west, pencil_bytes, tag=tag + 1)
+            tag += 2
+            comm.allreduce(40)  # residual
+
+    return run_program(rank_fn, nranks, app="npb_lu", scaling="strong")
+
+
+# ---------------------------------------------------------------------------
+# MG — multigrid
+# ---------------------------------------------------------------------------
+
+def program_mg(nranks: int, *, vcycles: int = 12, levels: int = 4,
+               compute_per_cycle: float = 12_000.0, fine_halo_bytes: int = 33_000) -> Program:
+    """NPB MG: V-cycles whose halo size shrinks by 4x per level."""
+    dims = cartesian_grid(nranks, 3)
+    per_level = compute_per_cycle / (2 * levels)
+
+    def rank_fn(comm: VirtualComm) -> None:
+        neighbors = neighbor_ranks(comm.rank, dims, periodic=True)
+        tag = 0
+        for _ in range(vcycles):
+            # down the hierarchy
+            for level in range(levels):
+                size = max(fine_halo_bytes >> (2 * level), 64)
+                halo_exchange(comm, neighbors, size, tag=tag, overlap_compute=per_level * 0.3)
+                comm.compute(per_level * 0.7)
+                tag += 1
+            # back up
+            for level in reversed(range(levels)):
+                size = max(fine_halo_bytes >> (2 * level), 64)
+                halo_exchange(comm, neighbors, size, tag=tag, overlap_compute=per_level * 0.3)
+                comm.compute(per_level * 0.7)
+                tag += 1
+            comm.allreduce(8)  # norm
+
+    return run_program(rank_fn, nranks, app="npb_mg", scaling="strong")
+
+
+# ---------------------------------------------------------------------------
+# dispatch helpers
+# ---------------------------------------------------------------------------
+
+KERNELS = ("bt", "cg", "ep", "ft", "lu", "mg", "sp")
+
+_PROGRAMS = {
+    "bt": program_bt,
+    "cg": program_cg,
+    "ep": program_ep,
+    "ft": program_ft,
+    "lu": program_lu,
+    "mg": program_mg,
+    "sp": program_sp,
+}
+
+
+def program(nranks: int, *, kernel: str = "cg", **knobs) -> Program:
+    """Record one NPB kernel by name (one of :data:`KERNELS`)."""
+    if kernel not in _PROGRAMS:
+        raise ValueError(f"unknown NPB kernel {kernel!r}; expected one of {KERNELS}")
+    return _PROGRAMS[kernel](nranks, **knobs)
+
+
+build = make_build(program)
+build_bt = make_build(program_bt)
+build_cg = make_build(program_cg)
+build_ep = make_build(program_ep)
+build_ft = make_build(program_ft)
+build_lu = make_build(program_lu)
+build_mg = make_build(program_mg)
+build_sp = make_build(program_sp)

@@ -1,0 +1,159 @@
+"""``llamp`` command-line interface.
+
+Small front end over the library for the most common workflows:
+
+``llamp analyze``
+    build an application skeleton, run the LP analysis and print runtime,
+    ``λ_L``, ``ρ_L`` and the 1/2/5 % latency tolerances;
+``llamp sweep``
+    measured-vs-predicted ΔL sweep (simulator vs LP) with RRMSE;
+``llamp trace``
+    write the liballprof-style trace of an application skeleton;
+``llamp goal``
+    write the GOAL schedule of an application skeleton.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .analysis.validation import run_validation_sweep
+from .apps import ALL_APPS
+from .core.analyzer import LatencyAnalyzer
+from .mpi.tracer import trace_program
+from .network.params import CSCS_TESTBED, LogGPSParams
+from .schedgen.builder import build_graph
+from .schedgen.collectives import CollectiveAlgorithms
+from .schedgen.goal import dump_goal
+from .trace.format import dump_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def _params_from_args(args: argparse.Namespace) -> LogGPSParams:
+    return CSCS_TESTBED.replace(L=args.latency, o=args.overhead, G=args.gap)
+
+
+def _app_graph(args: argparse.Namespace, params: LogGPSParams):
+    if args.app not in ALL_APPS:
+        raise SystemExit(f"unknown application {args.app!r}; choose from {sorted(ALL_APPS)}")
+    module = ALL_APPS[args.app]
+    algorithms = CollectiveAlgorithms(allreduce=args.allreduce)
+    return module.build(args.nranks, params=params, algorithms=algorithms)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="llamp",
+        description="LLAMP reproduction: network latency sensitivity/tolerance analysis",
+    )
+    parser.add_argument("--latency", type=float, default=CSCS_TESTBED.L,
+                        help="base network latency L in µs (default: %(default)s)")
+    parser.add_argument("--overhead", type=float, default=CSCS_TESTBED.o,
+                        help="per-message CPU overhead o in µs (default: %(default)s)")
+    parser.add_argument("--gap", type=float, default=CSCS_TESTBED.G,
+                        help="per-byte gap G in µs/byte (default: %(default)s)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_app_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("app", choices=sorted(ALL_APPS), help="application skeleton")
+        p.add_argument("--nranks", type=int, default=8, help="number of MPI ranks")
+        p.add_argument("--allreduce", default="recursive_doubling",
+                       choices=("recursive_doubling", "ring", "reduce_bcast"),
+                       help="allreduce algorithm used by Schedgen")
+
+    analyze = sub.add_parser("analyze", help="runtime, λ_L, ρ_L and latency tolerances")
+    add_app_args(analyze)
+    analyze.add_argument("--json", action="store_true", help="print machine-readable JSON")
+
+    sweep = sub.add_parser("sweep", help="measured-vs-predicted ΔL sweep")
+    add_app_args(sweep)
+    sweep.add_argument("--max-delta", type=float, default=100.0, help="largest ΔL in µs")
+    sweep.add_argument("--points", type=int, default=6, help="number of sweep points")
+
+    trace = sub.add_parser("trace", help="write a liballprof-style trace")
+    add_app_args(trace)
+    trace.add_argument("--output", required=True, help="output trace file")
+
+    goal = sub.add_parser("goal", help="write a GOAL schedule")
+    add_app_args(goal)
+    goal.add_argument("--output", required=True, help="output GOAL file")
+
+    return parser
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    params = _params_from_args(args)
+    graph = _app_graph(args, params)
+    analyzer = LatencyAnalyzer(graph, params)
+    summary = analyzer.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"application        : {args.app} ({args.nranks} ranks, {graph.num_events} events)")
+    print(f"predicted runtime  : {summary['runtime_us'] / 1e6:.4f} s")
+    print(f"lambda_L           : {summary['lambda_L']:.1f} messages on the critical path")
+    print(f"rho_L              : {summary['rho_L'] * 100:.2f} % of the critical path is latency")
+    for level in (1, 2, 5):
+        key = f"tolerance_{level}pct_us"
+        print(f"{level}% latency tolerance : {summary[key]:.1f} µs "
+              f"(ΔL = {summary[key] - params.L:.1f} µs over the base latency)")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    params = _params_from_args(args)
+    graph = _app_graph(args, params)
+    deltas = np.linspace(0.0, args.max_delta, args.points)
+    sweep = run_validation_sweep(graph, params, app=args.app, delta_Ls=deltas)
+    print(f"{'ΔL [µs]':>10s} {'measured [s]':>14s} {'predicted [s]':>14s} {'λ_L':>10s} {'ρ_L':>8s}")
+    for row in sweep.rows():
+        print(
+            f"{row['delta_L_us']:10.1f} {row['measured_us'] / 1e6:14.4f} "
+            f"{row['predicted_us'] / 1e6:14.4f} {row['lambda_L']:10.1f} "
+            f"{row['rho_L'] * 100:7.2f}%"
+        )
+    print(f"RRMSE: {sweep.rrmse * 100:.2f}%")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    params = _params_from_args(args)
+    module = ALL_APPS[args.app]
+    program = module.program(args.nranks)
+    trace = trace_program(program, params)
+    dump_trace(trace, args.output)
+    print(f"wrote {trace.num_records} records for {trace.nranks} ranks to {args.output}")
+    return 0
+
+
+def _cmd_goal(args: argparse.Namespace) -> int:
+    params = _params_from_args(args)
+    graph = _app_graph(args, params)
+    dump_goal(graph, args.output)
+    print(f"wrote {graph.num_events} vertices / {graph.num_edges} edges to {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "sweep": _cmd_sweep,
+    "trace": _cmd_trace,
+    "goal": _cmd_goal,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``llamp`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

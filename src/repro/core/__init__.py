@@ -1,0 +1,30 @@
+"""LLAMP core: LP generation, sensitivity/tolerance analysis, parametric engine."""
+
+from .analyzer import LatencyAnalyzer, SensitivityCurve, ToleranceReport
+from .critical_latency import Tangent, critical_latency_curve, find_critical_latencies
+from .graph_analysis import CriticalPathResult, analyze_critical_path, forward_pass
+from .lp_builder import GraphLP, build_lp
+from .parametric import (
+    Line,
+    ParametricAnalysis,
+    PiecewiseLinear,
+    parametric_analysis,
+)
+
+__all__ = [
+    "LatencyAnalyzer",
+    "SensitivityCurve",
+    "ToleranceReport",
+    "GraphLP",
+    "build_lp",
+    "CriticalPathResult",
+    "analyze_critical_path",
+    "forward_pass",
+    "ParametricAnalysis",
+    "PiecewiseLinear",
+    "Line",
+    "parametric_analysis",
+    "find_critical_latencies",
+    "critical_latency_curve",
+    "Tangent",
+]

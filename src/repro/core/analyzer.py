@@ -1,0 +1,241 @@
+"""The LLAMP analyzer: the high-level public API of this package.
+
+:class:`LatencyAnalyzer` wraps an execution graph and a LogGPS configuration
+and exposes every metric the paper derives from the generated LP:
+
+* predicted runtime ``T`` for any added latency ΔL (Section II-C);
+* network latency sensitivity ``λ_L`` (reduced cost of ``l``, Section II-D1);
+* the L ratio ``ρ_L`` (fraction of the critical path spent in latency);
+* network latency tolerance — the largest ``L`` that keeps the runtime within
+  x % of the baseline (Section II-D2, directly via ``max l`` LPs);
+* all critical latencies in an interval (Algorithm 2);
+* bandwidth sensitivity ``λ_G`` (Section II-B1);
+* full sensitivity curves over a ΔL sweep (the lower panels of Fig. 9/10).
+
+Typical use::
+
+    from repro import LatencyAnalyzer, CSCS_TESTBED
+    from repro.apps import lulesh
+
+    graph = lulesh.build(nranks=8, params=CSCS_TESTBED)
+    analyzer = LatencyAnalyzer(graph, CSCS_TESTBED)
+    print(analyzer.predict_runtime())                 # seconds of predicted runtime
+    print(analyzer.latency_tolerance(0.01))           # 1% latency tolerance in µs
+    print(analyzer.latency_sensitivity(delta_L=10.0)) # λ_L at +10 µs
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..network.params import LogGPSParams
+from ..schedgen.graph import ExecutionGraph
+from .critical_latency import find_critical_latencies
+from .graph_analysis import CriticalPathResult, analyze_critical_path
+from .lp_builder import GraphLP, build_lp
+from .parametric import ParametricAnalysis, parametric_analysis
+
+__all__ = ["SensitivityCurve", "ToleranceReport", "LatencyAnalyzer"]
+
+
+@dataclass
+class SensitivityCurve:
+    """Runtime, ``λ_L`` and ``ρ_L`` sampled over a ΔL sweep."""
+
+    delta_L: np.ndarray
+    runtime: np.ndarray
+    latency_sensitivity: np.ndarray
+    l_ratio: np.ndarray
+
+    def as_dict(self) -> dict[str, list[float]]:
+        return {
+            "delta_L": self.delta_L.tolist(),
+            "runtime": self.runtime.tolist(),
+            "latency_sensitivity": self.latency_sensitivity.tolist(),
+            "l_ratio": self.l_ratio.tolist(),
+        }
+
+
+@dataclass
+class ToleranceReport:
+    """Latency tolerances at the paper's standard degradation levels."""
+
+    baseline_runtime: float
+    baseline_latency: float
+    tolerances: dict[float, float]
+
+    def tolerance(self, degradation: float) -> float:
+        """Absolute tolerable latency L for a given degradation level."""
+        return self.tolerances[degradation]
+
+    def delta_tolerance(self, degradation: float) -> float:
+        """Tolerable *added* latency ΔL over the baseline network latency."""
+        return self.tolerances[degradation] - self.baseline_latency
+
+    def as_rows(self) -> list[tuple[float, float, float]]:
+        """Rows of (degradation, L, ΔL), sorted by degradation."""
+        return [
+            (deg, tol, tol - self.baseline_latency)
+            for deg, tol in sorted(self.tolerances.items())
+        ]
+
+
+class LatencyAnalyzer:
+    """Analyse the network-latency behaviour of one execution graph."""
+
+    #: degradation levels highlighted throughout the paper (Fig. 1 / Fig. 9)
+    DEFAULT_DEGRADATIONS = (0.01, 0.02, 0.05)
+
+    def __init__(
+        self,
+        graph: ExecutionGraph,
+        params: LogGPSParams,
+        *,
+        backend: str = "highs",
+        gap_symbolic: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.params = params
+        self.backend = backend
+        self._gap_symbolic = gap_symbolic
+        self._lp: GraphLP | None = None
+        self._baseline_runtime: float | None = None
+
+    # -- lazily built artefacts -------------------------------------------------
+
+    @property
+    def lp(self) -> GraphLP:
+        """The generated LP (built on first use, then cached and re-solved)."""
+        if self._lp is None:
+            self._lp = build_lp(
+                self.graph,
+                self.params,
+                latency_mode="global",
+                gap_mode="global" if self._gap_symbolic else "constant",
+            )
+        return self._lp
+
+    def graph_analysis(self, delta_L: float = 0.0) -> CriticalPathResult:
+        """The conventional two-pass critical path analysis (baseline method)."""
+        return analyze_critical_path(self.graph, self.params.with_delta_latency(delta_L))
+
+    def parametric(self, l_min: float = 0.0, l_max: float = 10_000.0) -> ParametricAnalysis:
+        """The exact piecewise-linear ``T(L)`` curve on ``[l_min, l_max]``."""
+        return parametric_analysis(self.graph, self.params, l_min=l_min, l_max=l_max)
+
+    # -- core metrics -------------------------------------------------------------
+
+    def predict_runtime(self, delta_L: float = 0.0) -> float:
+        """Predicted runtime (µs) with ``delta_L`` µs of added network latency."""
+        if delta_L < 0:
+            raise ValueError(f"delta_L must be non-negative, got {delta_L}")
+        solution = self.lp.solve_runtime(L=self.params.L + delta_L, backend=self.backend)
+        return solution.objective
+
+    def baseline_runtime(self) -> float:
+        """Predicted runtime at the baseline latency (cached)."""
+        if self._baseline_runtime is None:
+            self._baseline_runtime = self.predict_runtime(0.0)
+        return self._baseline_runtime
+
+    def latency_sensitivity(self, delta_L: float = 0.0) -> float:
+        """``λ_L = ∂T/∂L`` at the given added latency (messages on the critical path)."""
+        solution = self.lp.solve_runtime(L=self.params.L + delta_L, backend=self.backend)
+        return self.lp.latency_sensitivity(solution)
+
+    def l_ratio(self, delta_L: float = 0.0) -> float:
+        """``ρ_L``: fraction of the predicted runtime attributable to network latency."""
+        L = self.params.L + delta_L
+        solution = self.lp.solve_runtime(L=L, backend=self.backend)
+        runtime = solution.objective
+        if runtime <= 0:
+            return 0.0
+        return L * self.lp.latency_sensitivity(solution) / runtime
+
+    def bandwidth_sensitivity(self, delta_L: float = 0.0) -> float:
+        """``λ_G = ∂T/∂G``: bytes (minus one per message) on the critical path."""
+        if not self._gap_symbolic:
+            raise ValueError(
+                "build the analyzer with gap_symbolic=True to query bandwidth sensitivity"
+            )
+        solution = self.lp.solve_runtime(L=self.params.L + delta_L, backend=self.backend)
+        return self.lp.gap_sensitivity(solution)
+
+    # -- tolerance -----------------------------------------------------------------
+
+    def latency_tolerance(self, degradation: float, *, absolute: bool = True) -> float:
+        """Largest latency keeping the runtime within ``(1+degradation)·T₀``.
+
+        ``absolute=True`` returns the total tolerable latency ``L`` (as in
+        Fig. 1); ``absolute=False`` returns the tolerable *added* latency ΔL.
+        """
+        if degradation < 0:
+            raise ValueError(f"degradation must be non-negative, got {degradation}")
+        bound = (1.0 + degradation) * self.baseline_runtime()
+        # reset the latency lower bound to the baseline before maximising
+        self.lp.set_latency_bound(self.params.L)
+        solution = self.lp.solve_max_latency(bound, backend=self.backend)
+        tolerance = solution.objective
+        return tolerance if absolute else tolerance - self.params.L
+
+    def tolerance_report(
+        self, degradations: Sequence[float] | None = None
+    ) -> ToleranceReport:
+        """Latency tolerances at several degradation levels (default 1/2/5 %)."""
+        degradations = tuple(degradations or self.DEFAULT_DEGRADATIONS)
+        tolerances = {deg: self.latency_tolerance(deg) for deg in degradations}
+        return ToleranceReport(
+            baseline_runtime=self.baseline_runtime(),
+            baseline_latency=self.params.L,
+            tolerances=tolerances,
+        )
+
+    # -- curves and sweeps ------------------------------------------------------------
+
+    def sensitivity_curve(self, delta_Ls: Iterable[float]) -> SensitivityCurve:
+        """Sample runtime, ``λ_L`` and ``ρ_L`` over a ΔL sweep (Fig. 9 lower panels)."""
+        deltas = np.asarray(sorted(set(float(d) for d in delta_Ls)), dtype=np.float64)
+        if np.any(deltas < 0):
+            raise ValueError("delta_L values must be non-negative")
+        runtimes = np.zeros_like(deltas)
+        lambdas = np.zeros_like(deltas)
+        rhos = np.zeros_like(deltas)
+        for i, delta in enumerate(deltas):
+            L = self.params.L + float(delta)
+            solution = self.lp.solve_runtime(L=L, backend=self.backend)
+            runtimes[i] = solution.objective
+            lambdas[i] = self.lp.latency_sensitivity(solution)
+            rhos[i] = 0.0 if runtimes[i] <= 0 else L * lambdas[i] / runtimes[i]
+        return SensitivityCurve(
+            delta_L=deltas, runtime=runtimes, latency_sensitivity=lambdas, l_ratio=rhos
+        )
+
+    def critical_latencies(
+        self, l_min: float | None = None, l_max: float = 1_000.0, *, step: float | None = None
+    ) -> list[float]:
+        """Critical latencies in ``[l_min, l_max]`` (Algorithm 2)."""
+        lo = self.params.L if l_min is None else l_min
+        return find_critical_latencies(
+            self.lp, lo, l_max, backend=self.backend, step=step
+        )
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def summary(self) -> dict[str, float]:
+        """One-line summary used by the CLI and the examples."""
+        report = self.tolerance_report()
+        lam = self.latency_sensitivity()
+        return {
+            "nranks": self.graph.nranks,
+            "events": self.graph.num_events,
+            "messages": self.graph.num_messages,
+            "runtime_us": report.baseline_runtime,
+            "lambda_L": lam,
+            "rho_L": self.l_ratio(),
+            "tolerance_1pct_us": report.tolerance(0.01),
+            "tolerance_2pct_us": report.tolerance(0.02),
+            "tolerance_5pct_us": report.tolerance(0.05),
+        }

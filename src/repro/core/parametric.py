@@ -1,0 +1,291 @@
+"""Exact parametric critical-path analysis: the full ``T(L)`` curve at once.
+
+Equation 3 of the paper writes the runtime of an MPI program under LogGPS as
+
+.. math:: T(L) = \\max_i (a_i L + C_i)
+
+where each term corresponds to one path through the execution graph
+(``a_i`` = number of communication edges, ``C_i`` = all other costs).  The
+paper notes that materialising this expression by dynamic programming is
+intractable in their C++ implementation; here we implement it with an
+*upper-envelope* representation — per vertex we only keep the lines that are
+maximal somewhere in the latency interval of interest — which makes the
+computation exact and, for the graph sizes used in this reproduction, fast.
+
+The resulting :class:`PiecewiseLinear` envelope directly yields every
+quantity LLAMP otherwise extracts from LP re-solves:
+
+* ``T(L)``                      — :meth:`PiecewiseLinear.value`;
+* ``λ_L(L)``                    — :meth:`PiecewiseLinear.slope`;
+* all critical latencies        — :meth:`PiecewiseLinear.breakpoints`;
+* the x% latency tolerance      — :meth:`ParametricAnalysis.latency_tolerance`;
+* the feasibility range of a
+  given ``L`` (Gurobi's ranging) — :meth:`PiecewiseLinear.segment_of`.
+
+It is used as an independent cross-check of the LP pipeline in the test
+suite and by Algorithm 2's range queries when the LP backend cannot provide
+ranging information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..network.params import LogGPSParams
+from ..schedgen.graph import EdgeKind, ExecutionGraph, VertexKind
+
+__all__ = ["Line", "PiecewiseLinear", "ParametricAnalysis", "parametric_analysis"]
+
+
+@dataclass(frozen=True)
+class Line:
+    """A line ``f(L) = slope * L + intercept``; the slope counts messages."""
+
+    slope: float
+    intercept: float
+
+    def __call__(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    def shifted(self, slope_delta: float, intercept_delta: float) -> "Line":
+        return Line(self.slope + slope_delta, self.intercept + intercept_delta)
+
+
+class EnvelopeOverflowError(RuntimeError):
+    """Raised when an envelope exceeds the configured maximum piece count."""
+
+
+def _upper_envelope(lines: Sequence[Line], lo: float, hi: float) -> list[Line]:
+    """Keep only the lines that are maximal somewhere in ``[lo, hi]``."""
+    if not lines:
+        return []
+    # group by slope, keeping the largest intercept
+    best: dict[float, float] = {}
+    for line in lines:
+        previous = best.get(line.slope)
+        if previous is None or line.intercept > previous:
+            best[line.slope] = line.intercept
+    ordered = [Line(slope, intercept) for slope, intercept in sorted(best.items())]
+    if len(ordered) == 1:
+        return ordered
+
+    hull: list[Line] = []
+    for line in ordered:
+        while hull:
+            last = hull[-1]
+            if len(hull) == 1:
+                # `last` is dominated on [lo, hi] iff the new (steeper) line is
+                # already above it at lo
+                if line(lo) >= last(lo):
+                    hull.pop()
+                    continue
+                break
+            prev = hull[-2]
+            # intersection of `prev` and `line`
+            x_new = (line.intercept - prev.intercept) / (prev.slope - line.slope)
+            x_old = (last.intercept - prev.intercept) / (prev.slope - last.slope)
+            if x_new <= x_old:
+                hull.pop()
+                continue
+            break
+        hull.append(line)
+
+    # clip to the domain: drop pieces whose validity interval misses [lo, hi]
+    clipped: list[Line] = []
+    for idx, line in enumerate(hull):
+        start = lo if idx == 0 else _intersection(hull[idx - 1], line)
+        end = hi if idx == len(hull) - 1 else _intersection(line, hull[idx + 1])
+        if end < lo - 1e-15 or start > hi + 1e-15:
+            continue
+        clipped.append(line)
+    return clipped if clipped else [max(hull, key=lambda ln: ln(lo))]
+
+
+def _intersection(a: Line, b: Line) -> float:
+    return (b.intercept - a.intercept) / (a.slope - b.slope)
+
+
+@dataclass
+class PiecewiseLinear:
+    """A convex, non-decreasing piecewise-linear function of the latency ``L``."""
+
+    lines: list[Line]
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            raise ValueError("a piecewise-linear function needs at least one line")
+        self.lines = sorted(self.lines, key=lambda ln: ln.slope)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def value(self, x: float) -> float:
+        """``T(x)`` — the maximum over all pieces."""
+        return max(line(x) for line in self.lines)
+
+    def slope(self, x: float) -> float:
+        """``λ_L`` at ``x`` — the slope of the active piece.
+
+        At a breakpoint the slope from *above* is returned (the larger one),
+        matching the convention of the reduced cost when approached from the
+        right.
+        """
+        best_value = self.value(x)
+        best_slope = 0.0
+        for line in self.lines:
+            if abs(line(x) - best_value) <= 1e-9 * max(1.0, abs(best_value)) + 1e-12:
+                best_slope = max(best_slope, line.slope)
+        return best_slope
+
+    def breakpoints(self) -> list[float]:
+        """The critical latencies inside ``(lo, hi)`` where the slope changes."""
+        points = []
+        for a, b in zip(self.lines, self.lines[1:]):
+            x = _intersection(a, b)
+            if self.lo < x < self.hi:
+                points.append(x)
+        return points
+
+    def segment_of(self, x: float) -> tuple[float, float]:
+        """Feasibility range ``[L_fl, L_fu]`` of ``x``: the active segment."""
+        best_value = self.value(x)
+        active = max(
+            (line for line in self.lines
+             if abs(line(x) - best_value) <= 1e-9 * max(1.0, abs(best_value)) + 1e-12),
+            key=lambda ln: ln.slope,
+        )
+        idx = self.lines.index(active)
+        lower = self.lo if idx == 0 else _intersection(self.lines[idx - 1], active)
+        upper = self.hi if idx == len(self.lines) - 1 else _intersection(active, self.lines[idx + 1])
+        return (lower, upper)
+
+    def solve_for_value(self, target: float) -> float:
+        """Largest ``x`` in ``[lo, hi]`` with ``value(x) <= target``.
+
+        Used for the latency-tolerance query.  Returns ``hi`` if the whole
+        interval satisfies the bound and raises if even ``lo`` violates it.
+        """
+        if self.value(self.lo) > target + 1e-12:
+            raise ValueError(
+                f"runtime bound {target} is below the runtime at L={self.lo}"
+            )
+        if self.value(self.hi) <= target:
+            return self.hi
+        # the active piece at the crossing has positive slope
+        best = self.lo
+        for line in self.lines:
+            if line.slope <= 0:
+                continue
+            x = (target - line.intercept) / line.slope
+            if x < self.lo:
+                continue
+            x = min(x, self.hi)
+            if self.value(x) <= target + 1e-9 * max(1.0, abs(target)):
+                best = max(best, x)
+        return best
+
+    def sample(self, xs: Iterable[float]) -> np.ndarray:
+        """Vectorised evaluation over a sequence of latencies."""
+        xs = np.asarray(list(xs), dtype=np.float64)
+        slopes = np.array([line.slope for line in self.lines])
+        intercepts = np.array([line.intercept for line in self.lines])
+        return (xs[:, None] * slopes[None, :] + intercepts[None, :]).max(axis=1)
+
+
+@dataclass
+class ParametricAnalysis:
+    """The full parametric picture of one execution graph."""
+
+    envelope: PiecewiseLinear
+    params: LogGPSParams
+    graph: ExecutionGraph
+
+    def runtime(self, L: float | None = None) -> float:
+        """``T(L)``; defaults to the baseline latency of ``params``."""
+        return self.envelope.value(self.params.L if L is None else L)
+
+    def latency_sensitivity(self, L: float | None = None) -> float:
+        """``λ_L`` at ``L``."""
+        return self.envelope.slope(self.params.L if L is None else L)
+
+    def l_ratio(self, L: float | None = None) -> float:
+        """``ρ_L``: fraction of the critical path attributable to latency."""
+        x = self.params.L if L is None else L
+        t = self.envelope.value(x)
+        if t <= 0:
+            return 0.0
+        return x * self.envelope.slope(x) / t
+
+    def critical_latencies(self) -> list[float]:
+        """All critical latencies in the analysed interval."""
+        return self.envelope.breakpoints()
+
+    def latency_tolerance(self, degradation: float, baseline_L: float | None = None) -> float:
+        """Maximum ``L`` keeping the runtime within ``(1 + degradation)·T(L₀)``."""
+        if degradation < 0:
+            raise ValueError(f"degradation must be non-negative, got {degradation}")
+        base = self.params.L if baseline_L is None else baseline_L
+        bound = (1.0 + degradation) * self.envelope.value(base)
+        return self.envelope.solve_for_value(bound)
+
+    def feasibility_range(self, L: float | None = None) -> tuple[float, float]:
+        """The range of ``L`` over which the critical path does not change."""
+        return self.envelope.segment_of(self.params.L if L is None else L)
+
+
+def parametric_analysis(
+    graph: ExecutionGraph,
+    params: LogGPSParams,
+    *,
+    l_min: float = 0.0,
+    l_max: float = 10_000.0,
+    max_pieces: int = 50_000,
+) -> ParametricAnalysis:
+    """Compute the exact ``T(L)`` envelope of ``graph`` on ``[l_min, l_max]``.
+
+    All other LogGPS parameters are taken from ``params``.  ``max_pieces``
+    guards against pathological envelope growth (an
+    :class:`EnvelopeOverflowError` is raised instead of silently degrading).
+    """
+    if l_min < 0 or l_max <= l_min:
+        raise ValueError(f"invalid latency interval [{l_min}, {l_max}]")
+
+    o, G = params.o, params.G
+    envelopes: dict[int, list[Line]] = {}
+
+    for v in graph.topological_order():
+        v = int(v)
+        cost = float(graph.cost[v]) if graph.kind[v] == VertexKind.CALC else o
+        incoming = list(graph.in_edges(v))
+        if not incoming:
+            envelopes[v] = [Line(0.0, cost)]
+            continue
+        merged: list[Line] = []
+        for src, _, kind in incoming:
+            if kind is EdgeKind.COMM:
+                slope_delta = 1.0
+                intercept_delta = max(int(graph.size[v]) - 1, 0) * G + cost
+            else:
+                slope_delta = 0.0
+                intercept_delta = cost
+            merged.extend(
+                line.shifted(slope_delta, intercept_delta) for line in envelopes[src]
+            )
+        env = _upper_envelope(merged, l_min, l_max)
+        if len(env) > max_pieces:
+            raise EnvelopeOverflowError(
+                f"envelope at vertex {v} has {len(env)} pieces (> {max_pieces}); "
+                "narrow the latency interval or raise max_pieces"
+            )
+        envelopes[v] = env
+
+    terminal: list[Line] = []
+    for sink in graph.sinks():
+        terminal.extend(envelopes[int(sink)])
+    final = _upper_envelope(terminal, l_min, l_max)
+    envelope = PiecewiseLinear(lines=final, lo=l_min, hi=l_max)
+    return ParametricAnalysis(envelope=envelope, params=params, graph=graph)

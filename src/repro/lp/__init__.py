@@ -1,0 +1,32 @@
+"""Linear programming layer: modelling objects and interchangeable backends."""
+
+from .model import (
+    Constraint,
+    InfeasibleError,
+    LinearExpr,
+    LPError,
+    LPModel,
+    LPSolution,
+    Sense,
+    Status,
+    UnboundedError,
+    Variable,
+)
+from .scipy_backend import solve_highs
+from .simplex import SimplexOptions, solve_simplex
+
+__all__ = [
+    "LPModel",
+    "LPSolution",
+    "LinearExpr",
+    "Variable",
+    "Constraint",
+    "Sense",
+    "Status",
+    "LPError",
+    "InfeasibleError",
+    "UnboundedError",
+    "solve_highs",
+    "solve_simplex",
+    "SimplexOptions",
+]

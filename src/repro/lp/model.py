@@ -1,0 +1,389 @@
+"""A small linear-programming modelling layer.
+
+LLAMP converts execution graphs into linear programs (Section II-C,
+Algorithm 1).  The paper uses Gurobi; this reproduction provides a
+self-contained modelling layer with interchangeable open backends:
+
+* ``"highs"`` — :func:`scipy.optimize.linprog` with the HiGHS solver
+  (default; handles the large LPs generated from application graphs and
+  returns dual values / reduced costs);
+* ``"simplex"`` — a dense bounded-variable simplex implemented in
+  :mod:`repro.lp.simplex` (small problems; additionally reports the ranging
+  information that Gurobi exposes as ``SARHSLow``/``SALBLow``).
+
+The modelling objects are deliberately minimal: variables with bounds,
+affine expressions, ``>=``/``<=``/``==`` constraints and a linear objective.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Sense",
+    "Status",
+    "Variable",
+    "LinearExpr",
+    "Constraint",
+    "LPModel",
+    "LPSolution",
+    "LPError",
+    "InfeasibleError",
+    "UnboundedError",
+]
+
+
+class LPError(RuntimeError):
+    """Base class for solver failures."""
+
+
+class InfeasibleError(LPError):
+    """The LP has no feasible solution."""
+
+
+class UnboundedError(LPError):
+    """The LP is unbounded in the optimisation direction."""
+
+
+class Sense(enum.Enum):
+    """Objective sense."""
+
+    MIN = "min"
+    MAX = "max"
+
+
+class Status(enum.Enum):
+    """Solver status."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable (identified by its index within one model)."""
+
+    model_id: int
+    index: int
+    name: str
+    lb: float = 0.0
+    ub: float = float("inf")
+
+    # -- expression building -------------------------------------------------
+
+    def to_expr(self) -> "LinearExpr":
+        return LinearExpr({self.index: 1.0}, 0.0)
+
+    def __add__(self, other: "Variable | LinearExpr | float") -> "LinearExpr":
+        return self.to_expr() + other
+
+    def __radd__(self, other: float) -> "LinearExpr":
+        return self.to_expr() + other
+
+    def __sub__(self, other: "Variable | LinearExpr | float") -> "LinearExpr":
+        return self.to_expr() - other
+
+    def __rsub__(self, other: float) -> "LinearExpr":
+        return (-1.0) * self.to_expr() + other
+
+    def __mul__(self, factor: float) -> "LinearExpr":
+        return self.to_expr() * factor
+
+    def __rmul__(self, factor: float) -> "LinearExpr":
+        return self.to_expr() * factor
+
+    def __neg__(self) -> "LinearExpr":
+        return self.to_expr() * -1.0
+
+    def __ge__(self, other: "Variable | LinearExpr | float") -> "Constraint":
+        return self.to_expr() >= other
+
+    def __le__(self, other: "Variable | LinearExpr | float") -> "Constraint":
+        return self.to_expr() <= other
+
+
+class LinearExpr:
+    """An affine expression ``sum(coeff_i * x_i) + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Mapping[int, float] | None = None, constant: float = 0.0) -> None:
+        self.coeffs: dict[int, float] = dict(coeffs) if coeffs else {}
+        self.constant = float(constant)
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def _coerce(value: "Variable | LinearExpr | float") -> "LinearExpr":
+        if isinstance(value, LinearExpr):
+            return value
+        if isinstance(value, Variable):
+            return value.to_expr()
+        if isinstance(value, (int, float, np.floating, np.integer)):
+            return LinearExpr({}, float(value))
+        raise TypeError(f"cannot interpret {value!r} as a linear expression")
+
+    def copy(self) -> "LinearExpr":
+        return LinearExpr(dict(self.coeffs), self.constant)
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: "Variable | LinearExpr | float") -> "LinearExpr":
+        rhs = self._coerce(other)
+        result = self.copy()
+        for idx, coeff in rhs.coeffs.items():
+            result.coeffs[idx] = result.coeffs.get(idx, 0.0) + coeff
+            if result.coeffs[idx] == 0.0:
+                del result.coeffs[idx]
+        result.constant += rhs.constant
+        return result
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Variable | LinearExpr | float") -> "LinearExpr":
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other: float) -> "LinearExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, factor: float) -> "LinearExpr":
+        if not isinstance(factor, (int, float, np.floating, np.integer)):
+            raise TypeError("linear expressions can only be scaled by numbers")
+        return LinearExpr(
+            {idx: coeff * float(factor) for idx, coeff in self.coeffs.items()},
+            self.constant * float(factor),
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinearExpr":
+        return self * -1.0
+
+    # -- comparisons build constraints -----------------------------------------
+
+    def __ge__(self, other: "Variable | LinearExpr | float") -> "Constraint":
+        return Constraint(self - other, ">=")
+
+    def __le__(self, other: "Variable | LinearExpr | float") -> "Constraint":
+        return Constraint(self - other, "<=")
+
+    # -- evaluation -------------------------------------------------------------
+
+    def value(self, assignment: Sequence[float] | np.ndarray) -> float:
+        """Evaluate the expression for a full variable assignment."""
+        total = self.constant
+        for idx, coeff in self.coeffs.items():
+            total += coeff * float(assignment[idx])
+        return total
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        terms = [f"{coeff:+g}*x{idx}" for idx, coeff in sorted(self.coeffs.items())]
+        terms.append(f"{self.constant:+g}")
+        return " ".join(terms)
+
+
+@dataclass
+class Constraint:
+    """A linear constraint in the canonical form ``expr >= 0`` or ``expr <= 0``."""
+
+    expr: LinearExpr
+    sense: str  # ">=" or "<="
+    name: str = ""
+    index: int = -1
+
+    def __post_init__(self) -> None:
+        if self.sense not in (">=", "<="):
+            raise ValueError(f"constraint sense must be '>=' or '<=', got {self.sense!r}")
+
+    def violation(self, assignment: Sequence[float] | np.ndarray) -> float:
+        """How much the constraint is violated by ``assignment`` (0 if satisfied)."""
+        value = self.expr.value(assignment)
+        if self.sense == ">=":
+            return max(0.0, -value)
+        return max(0.0, value)
+
+    def slack(self, assignment: Sequence[float] | np.ndarray) -> float:
+        """Signed slack (non-negative when the constraint is satisfied)."""
+        value = self.expr.value(assignment)
+        return value if self.sense == ">=" else -value
+
+
+class LPModel:
+    """A linear program: variables, constraints, objective."""
+
+    _next_model_id = 0
+
+    def __init__(self, name: str = "lp") -> None:
+        self.name = name
+        self._id = LPModel._next_model_id
+        LPModel._next_model_id += 1
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        self.objective: LinearExpr = LinearExpr()
+        self.sense: Sense = Sense.MIN
+
+    # -- construction ----------------------------------------------------------
+
+    def add_var(
+        self, name: str | None = None, lb: float = 0.0, ub: float = float("inf")
+    ) -> Variable:
+        """Add a decision variable with bounds ``[lb, ub]``."""
+        if lb > ub:
+            raise ValueError(f"variable {name}: lower bound {lb} exceeds upper bound {ub}")
+        index = len(self.variables)
+        var = Variable(
+            model_id=self._id,
+            index=index,
+            name=name or f"x{index}",
+            lb=float(lb),
+            ub=float(ub),
+        )
+        self.variables.append(var)
+        return var
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Add a constraint created with ``expr >= other`` / ``expr <= other``."""
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "add_constraint expects a Constraint (build one with 'expr >= value')"
+            )
+        constraint.index = len(self.constraints)
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def add_ge(self, lhs: Variable | LinearExpr, rhs: Variable | LinearExpr | float,
+               name: str = "") -> Constraint:
+        """Add ``lhs >= rhs``."""
+        return self.add_constraint(LinearExpr._coerce(lhs) >= rhs, name=name)
+
+    def add_le(self, lhs: Variable | LinearExpr, rhs: Variable | LinearExpr | float,
+               name: str = "") -> Constraint:
+        """Add ``lhs <= rhs``."""
+        return self.add_constraint(LinearExpr._coerce(lhs) <= rhs, name=name)
+
+    def set_objective(self, expr: Variable | LinearExpr, sense: Sense | str = Sense.MIN) -> None:
+        """Set the objective function and optimisation direction."""
+        self.objective = LinearExpr._coerce(expr)
+        self.sense = Sense(sense) if not isinstance(sense, Sense) else sense
+
+    def set_var_lb(self, var: Variable, lb: float) -> Variable:
+        """Replace the lower bound of ``var`` (returns the updated variable).
+
+        Used by Algorithm 2 and the tolerance analysis, which repeatedly
+        re-solve the same model with a different bound on ``l``.
+        """
+        if var.model_id != self._id:
+            raise ValueError("variable does not belong to this model")
+        updated = Variable(
+            model_id=self._id, index=var.index, name=var.name, lb=float(lb), ub=var.ub
+        )
+        self.variables[var.index] = updated
+        return updated
+
+    def set_var_ub(self, var: Variable, ub: float) -> Variable:
+        """Replace the upper bound of ``var`` (returns the updated variable)."""
+        if var.model_id != self._id:
+            raise ValueError("variable does not belong to this model")
+        updated = Variable(
+            model_id=self._id, index=var.index, name=var.name, lb=var.lb, ub=float(ub)
+        )
+        self.variables[var.index] = updated
+        return updated
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def variable_by_name(self, name: str) -> Variable:
+        for var in self.variables:
+            if var.name == name:
+                return var
+        raise KeyError(f"no variable named {name!r}")
+
+    # -- solving -----------------------------------------------------------------
+
+    def solve(self, backend: str = "highs", **options: object) -> "LPSolution":
+        """Solve the model with the selected backend and return a solution."""
+        if backend == "highs":
+            from .scipy_backend import solve_highs
+
+            return solve_highs(self, **options)
+        if backend == "simplex":
+            from .simplex import solve_simplex
+
+            return solve_simplex(self, **options)
+        raise ValueError(f"unknown LP backend {backend!r}; expected 'highs' or 'simplex'")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LPModel(name={self.name!r}, vars={self.num_vars}, "
+            f"constraints={self.num_constraints}, sense={self.sense.value})"
+        )
+
+
+@dataclass
+class LPSolution:
+    """The result of solving an :class:`LPModel`.
+
+    ``reduced_costs[i]`` is the sensitivity of the objective to the *lower
+    bound* of variable ``i`` (this is exactly the quantity LLAMP reads off to
+    obtain ``λ_L``, Section II-D1).  ``duals[j]`` is the sensitivity of the
+    objective to relaxing constraint ``j``.  Backends that cannot provide a
+    field leave it as ``None``.
+    """
+
+    status: Status
+    objective: float
+    values: np.ndarray
+    reduced_costs: np.ndarray | None = None
+    duals: np.ndarray | None = None
+    lower_range: np.ndarray | None = None
+    iterations: int = 0
+    backend: str = ""
+    _model: LPModel | None = None
+
+    def value(self, var: Variable) -> float:
+        """Value of ``var`` in the optimal solution."""
+        return float(self.values[var.index])
+
+    def reduced_cost(self, var: Variable) -> float:
+        """Reduced cost of ``var`` (w.r.t. its lower bound)."""
+        if self.reduced_costs is None:
+            raise LPError(f"backend {self.backend!r} did not provide reduced costs")
+        return float(self.reduced_costs[var.index])
+
+    def dual(self, constraint: Constraint) -> float:
+        """Dual value (shadow price) of ``constraint``."""
+        if self.duals is None:
+            raise LPError(f"backend {self.backend!r} did not provide dual values")
+        return float(self.duals[constraint.index])
+
+    def tight_constraints(self, tolerance: float = 1e-6) -> list[int]:
+        """Indices of constraints satisfied with equality (the critical path)."""
+        if self._model is None:
+            raise LPError("solution is not attached to a model")
+        tight = []
+        for constraint in self._model.constraints:
+            if abs(constraint.slack(self.values)) <= tolerance:
+                tight.append(constraint.index)
+        return tight
+
+    def is_optimal(self) -> bool:
+        return self.status is Status.OPTIMAL

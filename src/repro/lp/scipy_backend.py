@@ -1,0 +1,120 @@
+"""HiGHS backend: solve :class:`repro.lp.model.LPModel` with SciPy.
+
+SciPy bundles the open-source HiGHS solver, which — like Gurobi's default
+configuration in the paper — runs a presolve phase that removes the redundant
+constraints generated from execution graphs and then solves the reduced
+problem with the dual simplex or interior-point algorithm.  The marginals
+SciPy returns give us constraint duals and variable reduced costs, which is
+all LLAMP needs for ``λ_L`` and ``λ_G``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from .model import (
+    InfeasibleError,
+    LPError,
+    LPModel,
+    LPSolution,
+    Sense,
+    Status,
+    UnboundedError,
+)
+
+__all__ = ["solve_highs"]
+
+
+def _build_standard_form(model: LPModel) -> tuple[np.ndarray, sparse.csr_matrix, np.ndarray, list[tuple[float, float]], float, float]:
+    """Convert the model to ``min c^T x`` s.t. ``A_ub x <= b_ub`` and bounds.
+
+    Returns ``(c, A_ub, b_ub, bounds, obj_const, obj_sign)`` where
+    ``obj_sign`` is -1 when the original problem is a maximisation.
+    """
+    n = model.num_vars
+    obj_sign = 1.0 if model.sense is Sense.MIN else -1.0
+
+    c = np.zeros(n, dtype=np.float64)
+    for idx, coeff in model.objective.coeffs.items():
+        c[idx] = obj_sign * coeff
+    obj_const = model.objective.constant
+
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    b_ub = np.zeros(model.num_constraints, dtype=np.float64)
+    for row, constraint in enumerate(model.constraints):
+        # constraint: expr >= 0  ->  -coeffs x <= const
+        #             expr <= 0  ->   coeffs x <= -const
+        sign = -1.0 if constraint.sense == ">=" else 1.0
+        for idx, coeff in constraint.expr.coeffs.items():
+            rows.append(row)
+            cols.append(idx)
+            data.append(sign * coeff)
+        b_ub[row] = -sign * constraint.expr.constant
+
+    A_ub = sparse.csr_matrix(
+        (data, (rows, cols)), shape=(model.num_constraints, n), dtype=np.float64
+    )
+    bounds = [(var.lb, None if np.isinf(var.ub) else var.ub) for var in model.variables]
+    return c, A_ub, b_ub, bounds, obj_const, obj_sign
+
+
+def solve_highs(model: LPModel, *, method: str = "highs", presolve: bool = True) -> LPSolution:
+    """Solve ``model`` with :func:`scipy.optimize.linprog` (HiGHS)."""
+    if model.num_vars == 0:
+        raise LPError("model has no variables")
+    c, A_ub, b_ub, bounds, obj_const, obj_sign = _build_standard_form(model)
+
+    if model.num_constraints == 0:
+        A_ub = None
+        b_ub = None
+
+    result = linprog(
+        c,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        bounds=bounds,
+        method=method,
+        options={"presolve": presolve},
+    )
+
+    if result.status == 2:
+        raise InfeasibleError(f"LP {model.name!r} is infeasible: {result.message}")
+    if result.status == 3:
+        raise UnboundedError(f"LP {model.name!r} is unbounded: {result.message}")
+    if result.status != 0:
+        raise LPError(f"LP {model.name!r} failed: {result.message}")
+
+    values = np.asarray(result.x, dtype=np.float64)
+    objective = obj_sign * float(result.fun) + obj_const
+
+    reduced_costs = None
+    duals = None
+    # SciPy exposes marginals for the HiGHS methods: sensitivities of the
+    # *minimisation* objective w.r.t. the variable bounds / constraint RHS.
+    lower = getattr(result, "lower", None)
+    if lower is not None and getattr(lower, "marginals", None) is not None:
+        # d(min obj)/d(lb); convert back to the user's objective sense.
+        reduced_costs = obj_sign * np.asarray(lower.marginals, dtype=np.float64)
+    ineqlin = getattr(result, "ineqlin", None)
+    if (
+        model.num_constraints
+        and ineqlin is not None
+        and getattr(ineqlin, "marginals", None) is not None
+    ):
+        duals = obj_sign * np.asarray(ineqlin.marginals, dtype=np.float64)
+
+    return LPSolution(
+        status=Status.OPTIMAL,
+        objective=objective,
+        values=values,
+        reduced_costs=reduced_costs,
+        duals=duals,
+        lower_range=None,
+        iterations=int(getattr(result, "nit", 0) or 0),
+        backend="highs",
+        _model=model,
+    )

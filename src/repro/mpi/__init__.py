@@ -1,0 +1,19 @@
+"""Virtual MPI runtime: programming API, rank programs, and the tracer."""
+
+from .api import Request, VirtualComm, run_program
+from .program import COLLECTIVE_KINDS, OpKind, Program, ProgramOp, RankProgram
+from .tracer import TraceDeadlockError, collective_duration, trace_program
+
+__all__ = [
+    "VirtualComm",
+    "Request",
+    "run_program",
+    "Program",
+    "RankProgram",
+    "ProgramOp",
+    "OpKind",
+    "COLLECTIVE_KINDS",
+    "trace_program",
+    "collective_duration",
+    "TraceDeadlockError",
+]

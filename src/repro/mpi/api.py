@@ -1,0 +1,245 @@
+"""Virtual MPI programming interface.
+
+Application skeletons in :mod:`repro.apps` are written against this API,
+which mirrors the subset of MPI that liballprof traces.  The API does not
+move any data — it *records* the communication/computation structure of the
+application into a :class:`repro.mpi.program.Program`, which Schedgen then
+turns into an execution graph.
+
+Example
+-------
+A two-rank ping-pong::
+
+    from repro.mpi import run_program
+
+    def pingpong(comm):
+        for _ in range(10):
+            comm.compute(5.0)                 # 5 microseconds of work
+            if comm.rank == 0:
+                comm.send(1, size=8, tag=0)
+                comm.recv(1, size=8, tag=1)
+            else:
+                comm.recv(0, size=8, tag=0)
+                comm.send(0, size=8, tag=1)
+
+    program = run_program(pingpong, nranks=2)
+
+Because ranks are executed one after another (rank functions must not depend
+on message *contents*), the runtime is deterministic and needs no actual
+message passing.  This is the key substitution documented in DESIGN.md: the
+paper traces real MPI applications, we trace skeletons with explicit compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from .program import OpKind, Program, ProgramOp, RankProgram
+
+__all__ = ["Request", "VirtualComm", "run_program"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """Handle returned by non-blocking operations."""
+
+    handle: int
+    kind: OpKind
+
+    def __int__(self) -> int:  # pragma: no cover - trivial
+        return self.handle
+
+
+class VirtualComm:
+    """Recorder for one rank of a virtual MPI program.
+
+    All sizes are in bytes and all compute durations in microseconds.
+    """
+
+    def __init__(self, rank: int, size: int, rank_program: RankProgram) -> None:
+        if not 0 <= rank < size:
+            raise ValueError(f"rank {rank} out of range [0, {size})")
+        self._rank = rank
+        self._size = size
+        self._program = rank_program
+        self._next_request = 0
+        self._pending: set[int] = set()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank (``MPI_Comm_rank``)."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator (``MPI_Comm_size``)."""
+        return self._size
+
+    # -- computation ---------------------------------------------------------
+
+    def compute(self, duration_us: float) -> None:
+        """Record ``duration_us`` microseconds of local computation."""
+        if duration_us < 0:
+            raise ValueError(f"compute duration must be non-negative, got {duration_us}")
+        if duration_us == 0:
+            return
+        self._program.append(ProgramOp(kind=OpKind.COMPUTE, cost=float(duration_us)))
+
+    # -- blocking point-to-point ----------------------------------------------
+
+    def send(self, dest: int, size: int, tag: int = 0) -> None:
+        """Blocking standard send (``MPI_Send``)."""
+        self._check_peer(dest)
+        self._program.append(ProgramOp(kind=OpKind.SEND, peer=dest, size=size, tag=tag))
+
+    def recv(self, source: int, size: int, tag: int = 0) -> None:
+        """Blocking receive (``MPI_Recv``)."""
+        self._check_peer(source)
+        self._program.append(ProgramOp(kind=OpKind.RECV, peer=source, size=size, tag=tag))
+
+    def sendrecv(
+        self,
+        dest: int,
+        send_size: int,
+        source: int,
+        recv_size: int,
+        *,
+        send_tag: int = 0,
+        recv_tag: int = 0,
+    ) -> None:
+        """Combined send/receive (``MPI_Sendrecv``)."""
+        self._check_peer(dest)
+        self._check_peer(source)
+        self._program.append(
+            ProgramOp(
+                kind=OpKind.SENDRECV,
+                peer=dest,
+                size=send_size,
+                tag=send_tag,
+                recv_peer=source,
+                recv_size=recv_size,
+                recv_tag=recv_tag,
+            )
+        )
+
+    # -- non-blocking point-to-point -------------------------------------------
+
+    def isend(self, dest: int, size: int, tag: int = 0) -> Request:
+        """Non-blocking send (``MPI_Isend``); complete it with :meth:`wait`."""
+        self._check_peer(dest)
+        handle = self._new_request()
+        self._program.append(
+            ProgramOp(kind=OpKind.ISEND, peer=dest, size=size, tag=tag, request=handle)
+        )
+        return Request(handle=handle, kind=OpKind.ISEND)
+
+    def irecv(self, source: int, size: int, tag: int = 0) -> Request:
+        """Non-blocking receive (``MPI_Irecv``); complete it with :meth:`wait`."""
+        self._check_peer(source)
+        handle = self._new_request()
+        self._program.append(
+            ProgramOp(kind=OpKind.IRECV, peer=source, size=size, tag=tag, request=handle)
+        )
+        return Request(handle=handle, kind=OpKind.IRECV)
+
+    def wait(self, request: Request) -> None:
+        """Wait for a single outstanding request (``MPI_Wait``)."""
+        self._complete(request.handle)
+        self._program.append(ProgramOp(kind=OpKind.WAIT, request=request.handle))
+
+    def waitall(self, requests: Sequence[Request]) -> None:
+        """Wait for a set of outstanding requests (``MPI_Waitall``)."""
+        if not requests:
+            return
+        handles = []
+        for request in requests:
+            self._complete(request.handle)
+            handles.append(request.handle)
+        self._program.append(ProgramOp(kind=OpKind.WAITALL, requests=tuple(handles)))
+
+    # -- collectives -----------------------------------------------------------
+
+    def barrier(self) -> None:
+        """``MPI_Barrier`` over all ranks."""
+        self._program.append(ProgramOp(kind=OpKind.BARRIER, size=1))
+
+    def bcast(self, size: int, root: int = 0) -> None:
+        """``MPI_Bcast`` of ``size`` bytes from ``root``."""
+        self._check_peer(root)
+        self._program.append(ProgramOp(kind=OpKind.BCAST, size=size, root=root))
+
+    def reduce(self, size: int, root: int = 0) -> None:
+        """``MPI_Reduce`` of ``size`` bytes to ``root``."""
+        self._check_peer(root)
+        self._program.append(ProgramOp(kind=OpKind.REDUCE, size=size, root=root))
+
+    def allreduce(self, size: int) -> None:
+        """``MPI_Allreduce`` of ``size`` bytes."""
+        self._program.append(ProgramOp(kind=OpKind.ALLREDUCE, size=size))
+
+    def gather(self, size: int, root: int = 0) -> None:
+        """``MPI_Gather``: every rank contributes ``size`` bytes to ``root``."""
+        self._check_peer(root)
+        self._program.append(ProgramOp(kind=OpKind.GATHER, size=size, root=root))
+
+    def scatter(self, size: int, root: int = 0) -> None:
+        """``MPI_Scatter``: ``root`` sends ``size`` bytes to every rank."""
+        self._check_peer(root)
+        self._program.append(ProgramOp(kind=OpKind.SCATTER, size=size, root=root))
+
+    def allgather(self, size: int) -> None:
+        """``MPI_Allgather``: every rank contributes ``size`` bytes."""
+        self._program.append(ProgramOp(kind=OpKind.ALLGATHER, size=size))
+
+    def alltoall(self, size: int) -> None:
+        """``MPI_Alltoall`` with a per-peer payload of ``size`` bytes."""
+        self._program.append(ProgramOp(kind=OpKind.ALLTOALL, size=size))
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self._size:
+            raise ValueError(f"peer rank {peer} out of range [0, {self._size})")
+
+    def _new_request(self) -> int:
+        handle = self._next_request
+        self._next_request += 1
+        self._pending.add(handle)
+        return handle
+
+    def _complete(self, handle: int) -> None:
+        if handle not in self._pending:
+            raise ValueError(f"rank {self._rank}: request {handle} is not outstanding")
+        self._pending.discard(handle)
+
+    def finish(self) -> None:
+        """Check that no request is left outstanding at program end."""
+        if self._pending:
+            raise ValueError(
+                f"rank {self._rank}: requests never completed: {sorted(self._pending)}"
+            )
+
+
+def run_program(
+    rank_function: Callable[[VirtualComm], None],
+    nranks: int,
+    **meta: str,
+) -> Program:
+    """Execute ``rank_function`` once per rank and return the recorded program.
+
+    ``rank_function`` receives a :class:`VirtualComm` whose :attr:`~VirtualComm.rank`
+    and :attr:`~VirtualComm.size` identify the process.  It must be a pure
+    function of those two values (it cannot depend on message contents).
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    program = Program.empty(nranks, **meta)
+    for rank in range(nranks):
+        comm = VirtualComm(rank, nranks, program.rank(rank))
+        rank_function(comm)
+        comm.finish()
+    program.validate()
+    return program

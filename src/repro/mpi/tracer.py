@@ -1,0 +1,311 @@
+"""liballprof-style tracing of virtual MPI programs.
+
+The tracer replays a :class:`repro.mpi.program.Program` with blocking MPI
+semantics under a baseline LogGPS configuration and records one timestamped
+:class:`~repro.trace.records.TraceRecord` per MPI call — exactly the artifact
+liballprof produces on a real cluster.  The resulting trace can be written to
+disk (:mod:`repro.trace.format`), re-parsed, and fed to Schedgen
+(:meth:`repro.schedgen.ScheduleGenerator.build_from_trace`), closing the loop
+of the paper's Fig. 2 pipeline.
+
+The replay engine is intentionally simpler than the full LogGOPS simulator:
+it models blocking progress per rank with eager point-to-point messages and
+analytic collective durations.  Its only purpose is to stamp realistic
+timestamps — the downstream analysis re-derives computation intervals from
+the *gaps* between the calls, which by construction equal the skeleton's
+explicit compute.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+from ..network.params import LogGPSParams
+from ..trace.records import MPIOp, Trace, TraceRecord
+from .program import KIND_TO_MPI, OpKind, Program, ProgramOp
+
+__all__ = ["trace_program", "collective_duration", "TraceDeadlockError"]
+
+
+class TraceDeadlockError(RuntimeError):
+    """Raised when the replay cannot make progress (mismatched program)."""
+
+
+def collective_duration(kind: OpKind, nranks: int, size: int, params: LogGPSParams) -> float:
+    """Analytic duration of a collective operation used for trace timestamps.
+
+    These are the textbook LogGP cost formulas for the default algorithms
+    (binomial trees / recursive doubling / ring allgather / pairwise
+    alltoall).  They only influence the *timestamps inside* the traced
+    collective call; the execution-graph analysis later replaces the
+    collective with an explicit point-to-point algorithm anyway.
+    """
+    if nranks < 2:
+        return 0.0
+    o, L, G = params.o, params.L, params.G
+    log_p = math.ceil(math.log2(nranks))
+    eager = lambda s: 2 * o + L + max(s - 1, 0) * G  # noqa: E731 - local shorthand
+    if kind is OpKind.BARRIER:
+        return log_p * eager(1)
+    if kind in (OpKind.BCAST, OpKind.REDUCE):
+        return log_p * eager(size)
+    if kind is OpKind.ALLREDUCE:
+        return log_p * eager(size)
+    if kind is OpKind.ALLGATHER:
+        return (nranks - 1) * eager(size)
+    if kind is OpKind.ALLTOALL:
+        return (nranks - 1) * eager(size)
+    if kind in (OpKind.GATHER, OpKind.SCATTER):
+        return log_p * eager(size)
+    raise ValueError(f"{kind} is not a collective operation")
+
+
+@dataclass
+class _Message:
+    """An eager message in flight during the replay."""
+
+    arrival: float
+
+
+def trace_program(
+    program: Program,
+    params: LogGPSParams,
+    *,
+    init_cost: float = 1.0,
+    finalize_cost: float = 1.0,
+) -> Trace:
+    """Replay ``program`` and return a timestamped liballprof-style trace."""
+    program.validate()
+    nranks = program.nranks
+    o, L, G = params.o, params.L, params.G
+
+    clocks = [0.0] * nranks
+    pcs = [0] * nranks
+    trace = Trace.empty(nranks, **program.meta)
+
+    # message mailboxes keyed by (src, dst, tag): FIFO of arrival times
+    mailbox: dict[tuple[int, int, int], deque[_Message]] = defaultdict(deque)
+    # outstanding non-blocking requests per rank: handle -> ("send"|"recv", key, post_time)
+    pending: list[dict[int, tuple[str, tuple[int, int, int], float]]] = [
+        {} for _ in range(nranks)
+    ]
+    # collective rendezvous bookkeeping: index of next collective per rank and
+    # entry times of ranks already waiting at that collective
+    collective_entries: dict[int, dict[int, float]] = defaultdict(dict)
+    collective_index = [0] * nranks
+    # sendrecv operations whose send half has already been posted (per rank,
+    # keyed by program counter) so a blocked retry does not enqueue it twice
+    sendrecv_posted: list[set[int]] = [set() for _ in range(nranks)]
+
+    # MPI_Init records
+    for rank in range(nranks):
+        trace.add_record(rank, TraceRecord(op=MPIOp.INIT, tstart=0.0, tend=init_cost))
+        clocks[rank] = init_cost
+
+    def eager_arrival(send_start: float, size: int) -> float:
+        return send_start + o + L + max(size - 1, 0) * G
+
+    def try_progress(rank: int) -> bool:
+        """Execute the next op of ``rank`` if possible; return True on progress."""
+        rp = program.rank(rank)
+        if pcs[rank] >= len(rp):
+            return False
+        op = rp[pcs[rank]]
+        now = clocks[rank]
+
+        if op.kind is OpKind.COMPUTE:
+            clocks[rank] = now + op.cost
+            pcs[rank] += 1
+            return True
+
+        if op.kind in (OpKind.SEND, OpKind.ISEND):
+            key = (rank, op.peer, op.tag)
+            mailbox[key].append(_Message(arrival=eager_arrival(now, op.size)))
+            tend = now + o
+            record = TraceRecord(
+                op=KIND_TO_MPI[op.kind],
+                tstart=now,
+                tend=tend,
+                peer=op.peer,
+                size=op.size,
+                tag=op.tag,
+                request=op.request if op.kind is OpKind.ISEND else -1,
+            )
+            trace.add_record(rank, record)
+            if op.kind is OpKind.ISEND:
+                pending[rank][op.request] = ("send", key, tend)
+            clocks[rank] = tend
+            pcs[rank] += 1
+            return True
+
+        if op.kind is OpKind.RECV:
+            key = (op.peer, rank, op.tag)
+            if not mailbox[key]:
+                return False
+            message = mailbox[key].popleft()
+            tend = max(now, message.arrival) + o
+            trace.add_record(
+                rank,
+                TraceRecord(
+                    op=MPIOp.RECV,
+                    tstart=now,
+                    tend=tend,
+                    peer=op.peer,
+                    size=op.size,
+                    tag=op.tag,
+                ),
+            )
+            clocks[rank] = tend
+            pcs[rank] += 1
+            return True
+
+        if op.kind is OpKind.IRECV:
+            key = (op.peer, rank, op.tag)
+            tend = now  # posting a receive is (nearly) free
+            trace.add_record(
+                rank,
+                TraceRecord(
+                    op=MPIOp.IRECV,
+                    tstart=now,
+                    tend=tend,
+                    peer=op.peer,
+                    size=op.size,
+                    tag=op.tag,
+                    request=op.request,
+                ),
+            )
+            pending[rank][op.request] = ("recv", key, now)
+            clocks[rank] = tend
+            pcs[rank] += 1
+            return True
+
+        if op.kind in (OpKind.WAIT, OpKind.WAITALL):
+            handles = [op.request] if op.kind is OpKind.WAIT else list(op.requests)
+            completion = now
+            for handle in handles:
+                if handle not in pending[rank]:
+                    raise TraceDeadlockError(
+                        f"rank {rank}: wait on unknown request {handle}"
+                    )
+                direction, key, _post = pending[rank][handle]
+                if direction == "recv":
+                    if not mailbox[key]:
+                        return False
+            # all receives have matching messages in flight: consume them
+            for handle in handles:
+                direction, key, _post = pending[rank].pop(handle)
+                if direction == "recv":
+                    message = mailbox[key].popleft()
+                    completion = max(completion, message.arrival) + o
+            tend = max(completion, now)
+            trace.add_record(
+                rank,
+                TraceRecord(
+                    op=MPIOp.WAIT if op.kind is OpKind.WAIT else MPIOp.WAITALL,
+                    tstart=now,
+                    tend=tend,
+                    request=op.request if op.kind is OpKind.WAIT else -1,
+                    requests=tuple(op.requests) if op.kind is OpKind.WAITALL else (),
+                ),
+            )
+            clocks[rank] = tend
+            pcs[rank] += 1
+            return True
+
+        if op.kind is OpKind.SENDRECV:
+            send_key = (rank, op.peer, op.tag)
+            recv_key = (op.recv_peer, rank, op.recv_tag)
+            if pcs[rank] not in sendrecv_posted[rank]:
+                mailbox[send_key].append(_Message(arrival=eager_arrival(now, op.size)))
+                sendrecv_posted[rank].add(pcs[rank])
+            if not mailbox[recv_key]:
+                # the send half stays posted; retry the receive half later
+                return False
+            message = mailbox[recv_key].popleft()
+            sendrecv_posted[rank].discard(pcs[rank])
+            tend = max(now + o, message.arrival) + o
+            trace.add_record(
+                rank,
+                TraceRecord(
+                    op=MPIOp.SENDRECV,
+                    tstart=now,
+                    tend=tend,
+                    peer=op.peer,
+                    size=op.size,
+                    tag=op.tag,
+                    recv_peer=op.recv_peer,
+                    recv_size=op.recv_size,
+                    recv_tag=op.recv_tag,
+                ),
+            )
+            clocks[rank] = tend
+            pcs[rank] += 1
+            return True
+
+        if op.is_collective:
+            index = collective_index[rank]
+            entries = collective_entries[index]
+            entries[rank] = now
+            if len(entries) < nranks:
+                return False
+            # all ranks have arrived: everyone leaves at the same time
+            duration = collective_duration(op.kind, nranks, op.size, params)
+            leave = max(entries.values()) + duration
+            for member in range(nranks):
+                member_op = program.rank(member)[pcs[member]]
+                trace.add_record(
+                    member,
+                    TraceRecord(
+                        op=KIND_TO_MPI[member_op.kind],
+                        tstart=entries[member],
+                        tend=leave,
+                        peer=member_op.root if member_op.root else -1,
+                        size=member_op.size,
+                        comm_size=nranks,
+                    ),
+                )
+                clocks[member] = leave
+                pcs[member] += 1
+                collective_index[member] += 1
+            return True
+
+        raise ValueError(f"unsupported operation {op.kind} during tracing")
+
+    # round-robin scheduling loop
+    total_ops = program.num_ops
+    executed = 0
+    stalled_rounds = 0
+    while any(pcs[r] < len(program.rank(r)) for r in range(nranks)):
+        progressed = False
+        for rank in range(nranks):
+            while pcs[rank] < len(program.rank(rank)) and try_progress(rank):
+                progressed = True
+                executed += 1
+        if not progressed:
+            stalled_rounds += 1
+            if stalled_rounds > 2:
+                blocked = {
+                    r: str(program.rank(r)[pcs[r]].kind)
+                    for r in range(nranks)
+                    if pcs[r] < len(program.rank(r))
+                }
+                raise TraceDeadlockError(
+                    f"replay deadlocked after {executed}/{total_ops} operations; "
+                    f"blocked ranks: {blocked}"
+                )
+        else:
+            stalled_rounds = 0
+
+    # MPI_Finalize is not synchronising: each rank records it at its own clock,
+    # so the gap before it reflects the rank's trailing computation.
+    for rank in range(nranks):
+        trace.add_record(
+            rank,
+            TraceRecord(
+                op=MPIOp.FINALIZE, tstart=clocks[rank], tend=clocks[rank] + finalize_cost
+            ),
+        )
+    trace.validate()
+    return trace

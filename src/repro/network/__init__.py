@@ -1,0 +1,32 @@
+"""Network models: LogGPS parameters, measurement, topologies, HLogGP."""
+
+from .hloggp import ArchitectureGraph, block_mapping, random_mapping, round_robin_mapping
+from .netgauge import MeasuredParams, fit_loggp, measure, pingpong_times
+from .params import CSCS_TESTBED, DEFAULT_PARAMS, PIZ_DAINT, LogGPSParams
+from .topology import (
+    DEFAULT_SWITCH_LATENCY,
+    DEFAULT_WIRE_LATENCY,
+    Dragonfly,
+    FatTree,
+    WireLatencyModel,
+)
+
+__all__ = [
+    "LogGPSParams",
+    "CSCS_TESTBED",
+    "PIZ_DAINT",
+    "DEFAULT_PARAMS",
+    "FatTree",
+    "Dragonfly",
+    "WireLatencyModel",
+    "DEFAULT_WIRE_LATENCY",
+    "DEFAULT_SWITCH_LATENCY",
+    "ArchitectureGraph",
+    "block_mapping",
+    "round_robin_mapping",
+    "random_mapping",
+    "MeasuredParams",
+    "measure",
+    "fit_loggp",
+    "pingpong_times",
+]

@@ -1,0 +1,195 @@
+"""Network topologies: fat tree and dragonfly hop-count models.
+
+Section IV-2 of the paper analyses how the network topology influences
+ICON's wire-latency tolerance by replacing the end-to-end latency of every
+message with ``(h + 1) · l_wire + h · d_switch``, where ``h`` is the number
+of switch hops between the two endpoints.  This module provides the two
+topologies the paper compares — a three-tier fat tree with radix ``k`` and a
+Dragonfly ``(g, a, p)`` — exposing
+
+* the node capacity,
+* the hop count between any two nodes (assuming minimal routing and densely
+  packed node placement, exactly as in the paper), and
+* the per-pair latency matrix obtained from the wire/switch latency model,
+
+which plugs directly into the per-pair (HLogGP) LP mode of
+:func:`repro.core.lp_builder.build_lp` or into the simpler "effective global
+latency" analysis used by the Fig. 11 benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from ..units import NS
+
+__all__ = [
+    "Topology",
+    "FatTree",
+    "Dragonfly",
+    "WireLatencyModel",
+    "DEFAULT_WIRE_LATENCY",
+    "DEFAULT_SWITCH_LATENCY",
+]
+
+#: defaults from Zambre et al. as used in Section IV-2: 274 ns per wire,
+#: 108 ns per switch traversal
+DEFAULT_WIRE_LATENCY = 274 * NS
+DEFAULT_SWITCH_LATENCY = 108 * NS
+
+
+class Topology(Protocol):
+    """Minimal interface every topology implements."""
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of compute endpoints the topology can host."""
+
+    def hops(self, a: int, b: int) -> int:
+        """Number of switches traversed between nodes ``a`` and ``b``."""
+
+
+@dataclass(frozen=True)
+class WireLatencyModel:
+    """End-to-end latency from hop counts: ``(h + 1) · l_wire + h · d_switch``."""
+
+    wire_latency: float = DEFAULT_WIRE_LATENCY
+    switch_latency: float = DEFAULT_SWITCH_LATENCY
+
+    def latency(self, hops: int) -> float:
+        if hops < 0:
+            raise ValueError(f"hop count must be non-negative, got {hops}")
+        return (hops + 1) * self.wire_latency + hops * self.switch_latency
+
+    def pair_latency_matrix(self, topology: Topology, nodes: int | None = None) -> np.ndarray:
+        """Dense matrix of end-to-end latencies between the first ``nodes`` nodes."""
+        n = topology.num_nodes if nodes is None else nodes
+        if n > topology.num_nodes:
+            raise ValueError(
+                f"requested {n} nodes but the topology only hosts {topology.num_nodes}"
+            )
+        matrix = np.zeros((n, n), dtype=np.float64)
+        for a in range(n):
+            for b in range(a + 1, n):
+                value = self.latency(topology.hops(a, b))
+                matrix[a, b] = value
+                matrix[b, a] = value
+        return matrix
+
+    def average_latency(self, topology: Topology, nodes: int | None = None) -> float:
+        """Mean end-to-end latency over all distinct node pairs."""
+        n = topology.num_nodes if nodes is None else nodes
+        matrix = self.pair_latency_matrix(topology, n)
+        if n < 2:
+            return self.latency(0)
+        upper = matrix[np.triu_indices(n, k=1)]
+        return float(upper.mean())
+
+    def with_wire_latency(self, wire_latency: float) -> "WireLatencyModel":
+        return WireLatencyModel(wire_latency=wire_latency, switch_latency=self.switch_latency)
+
+
+@dataclass(frozen=True)
+class FatTree:
+    """Three-tier fat tree with switch radix ``k`` (Al-Fares et al.).
+
+    Nodes are packed densely: ``k/2`` nodes per edge switch, ``k/2`` edge
+    switches per pod, ``k`` pods — ``k³/4`` nodes in total.  Minimal routing
+    crosses 1 switch within an edge switch, 3 within a pod and 5 across pods.
+    """
+
+    k: int = 16
+    tiers: int = 3
+
+    def __post_init__(self) -> None:
+        if self.k < 2 or self.k % 2:
+            raise ValueError(f"fat tree radix must be an even integer >= 2, got {self.k}")
+        if self.tiers != 3:
+            raise ValueError("only three-tier fat trees are supported")
+
+    @property
+    def nodes_per_edge_switch(self) -> int:
+        return self.k // 2
+
+    @property
+    def nodes_per_pod(self) -> int:
+        return (self.k // 2) ** 2
+
+    @property
+    def num_pods(self) -> int:
+        return self.k
+
+    @property
+    def num_nodes(self) -> int:
+        return self.k**3 // 4
+
+    def hops(self, a: int, b: int) -> int:
+        self._check(a)
+        self._check(b)
+        if a == b:
+            return 0
+        if a // self.nodes_per_edge_switch == b // self.nodes_per_edge_switch:
+            return 1  # same edge switch
+        if a // self.nodes_per_pod == b // self.nodes_per_pod:
+            return 3  # same pod: edge -> aggregation -> edge
+        return 5  # across pods: edge -> aggregation -> core -> aggregation -> edge
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+
+
+@dataclass(frozen=True)
+class Dragonfly:
+    """Dragonfly topology with ``g`` groups, ``a`` switches per group and
+    ``p`` nodes per switch (Kim et al.).
+
+    Minimal routing: 1 switch within a switch, 2 within a group (local link),
+    and at most ``l + 1 + l'`` switches across groups; with densely packed
+    nodes and the paper's assumption of minimal routing we use 1 / 2 / 3 hops
+    for same-switch / same-group / cross-group traffic respectively
+    (local – global – local).
+    """
+
+    g: int = 8
+    a: int = 4
+    p: int = 8
+
+    def __post_init__(self) -> None:
+        if self.g < 1 or self.a < 1 or self.p < 1:
+            raise ValueError("g, a and p must all be >= 1")
+
+    @property
+    def nodes_per_switch(self) -> int:
+        return self.p
+
+    @property
+    def nodes_per_group(self) -> int:
+        return self.a * self.p
+
+    @property
+    def num_groups(self) -> int:
+        return self.g
+
+    @property
+    def num_nodes(self) -> int:
+        return self.g * self.a * self.p
+
+    def hops(self, a: int, b: int) -> int:
+        self._check(a)
+        self._check(b)
+        if a == b:
+            return 0
+        if a // self.nodes_per_switch == b // self.nodes_per_switch:
+            return 1  # same switch
+        if a // self.nodes_per_group == b // self.nodes_per_group:
+            return 2  # same group, one local link
+        return 3  # source switch -> global link -> destination switch
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")

@@ -1,0 +1,12 @@
+"""Rank placement (Appendix J of the paper)."""
+
+from .algorithm import PlacementResult, llamp_placement, predicted_runtime
+from .baselines import volume_greedy_placement, communication_volume_matrix
+
+__all__ = [
+    "PlacementResult",
+    "llamp_placement",
+    "predicted_runtime",
+    "volume_greedy_placement",
+    "communication_volume_matrix",
+]

@@ -1,0 +1,36 @@
+"""Schedgen reproduction: execution graphs, collective expansion, GOAL format."""
+
+from .builder import (
+    ProtocolConfig,
+    ScheduleGenerator,
+    UnmatchedMessageError,
+    build_graph,
+)
+from .collectives import COLLECTIVE_TAG_BASE, CollectiveAlgorithms
+from .goal import GoalFormatError, dump_goal, dumps_goal, load_goal, loads_goal
+from .graph import (
+    EdgeKind,
+    ExecutionGraph,
+    GraphBuilder,
+    GraphValidationError,
+    VertexKind,
+)
+
+__all__ = [
+    "VertexKind",
+    "EdgeKind",
+    "GraphBuilder",
+    "ExecutionGraph",
+    "GraphValidationError",
+    "CollectiveAlgorithms",
+    "COLLECTIVE_TAG_BASE",
+    "ScheduleGenerator",
+    "ProtocolConfig",
+    "build_graph",
+    "UnmatchedMessageError",
+    "dump_goal",
+    "dumps_goal",
+    "load_goal",
+    "loads_goal",
+    "GoalFormatError",
+]

@@ -1,0 +1,472 @@
+"""Collective-to-point-to-point expansion (Schedgen's collective substitution).
+
+Schedgen replaces every collective operation in a trace with a concrete
+point-to-point algorithm chosen by the user (Section II-A, and the ICON case
+study of Section IV switches ``MPI_Allreduce`` between *recursive doubling*
+and the *ring* algorithm).  This module implements that expansion directly on
+a :class:`repro.schedgen.graph.GraphBuilder`.
+
+Each expansion function receives the builder, the per-rank local frontier
+vertex (the last vertex of each rank's program-order chain, or ``-1`` when a
+rank has no vertex yet) and returns the new per-rank frontier after the
+collective.  Internally every emitted message uses a tag from a dedicated
+collective tag space so that point-to-point matching can never confuse
+user messages with collective traffic.
+
+Conventions
+-----------
+* A send vertex depends on the rank's current frontier; a receive that the
+  algorithm requires before progressing is chained after the send of the same
+  round (sendrecv-style), which is how LogGOPSim schedules these algorithms.
+* Message sizes follow the textbook algorithms: recursive doubling exchanges
+  the full vector every round, the ring algorithm moves ``size / P`` chunks,
+  binomial trees move the full vector per tree edge, the dissemination
+  barrier moves 1-byte tokens.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .graph import GraphBuilder
+
+__all__ = [
+    "CollectiveAlgorithms",
+    "COLLECTIVE_TAG_BASE",
+    "expand_barrier_dissemination",
+    "expand_bcast_binomial",
+    "expand_bcast_linear",
+    "expand_reduce_binomial",
+    "expand_allreduce_recursive_doubling",
+    "expand_allreduce_ring",
+    "expand_allreduce_reduce_bcast",
+    "expand_allgather_ring",
+    "expand_allgather_recursive_doubling",
+    "expand_alltoall_pairwise",
+    "expand_gather_linear",
+    "expand_scatter_linear",
+    "reduce_time_per_byte",
+]
+
+#: base of the tag space reserved for expanded collectives
+COLLECTIVE_TAG_BASE = 1 << 30
+
+#: default local reduction cost per byte (microseconds); kept small so that
+#: collective timing is communication-dominated, as in the paper's model.
+_DEFAULT_REDUCE_TIME_PER_BYTE = 0.0
+
+
+def reduce_time_per_byte() -> float:
+    """Per-byte local reduction cost used by reduction collectives."""
+    return _DEFAULT_REDUCE_TIME_PER_BYTE
+
+
+Frontier = list[int]
+
+
+def _chunk_size(size: int, nranks: int) -> int:
+    """Per-rank chunk size for ring/reduce-scatter style algorithms."""
+    return max(1, math.ceil(size / max(nranks, 1)))
+
+
+def _emit_send(
+    builder: GraphBuilder,
+    frontier: Frontier,
+    rank: int,
+    peer: int,
+    size: int,
+    tag: int,
+) -> int:
+    vid = builder.add_send(rank, peer, size, tag=tag)
+    if frontier[rank] >= 0:
+        builder.add_dependency(frontier[rank], vid)
+    frontier[rank] = vid
+    return vid
+
+
+def _emit_recv(
+    builder: GraphBuilder,
+    frontier: Frontier,
+    rank: int,
+    peer: int,
+    size: int,
+    tag: int,
+) -> int:
+    vid = builder.add_recv(rank, peer, size, tag=tag)
+    if frontier[rank] >= 0:
+        builder.add_dependency(frontier[rank], vid)
+    frontier[rank] = vid
+    return vid
+
+
+def _emit_calc(builder: GraphBuilder, frontier: Frontier, rank: int, cost: float) -> int:
+    if cost <= 0:
+        return frontier[rank]
+    vid = builder.add_calc(rank, cost)
+    if frontier[rank] >= 0:
+        builder.add_dependency(frontier[rank], vid)
+    frontier[rank] = vid
+    return vid
+
+
+# ---------------------------------------------------------------------------
+# barrier
+# ---------------------------------------------------------------------------
+
+def expand_barrier_dissemination(
+    builder: GraphBuilder, frontier: Frontier, *, tag: int, size: int = 1
+) -> None:
+    """Dissemination barrier: ``ceil(log2 P)`` rounds of 1-byte tokens."""
+    nranks = builder.nranks
+    if nranks < 2:
+        return
+    rounds = math.ceil(math.log2(nranks))
+    for k in range(rounds):
+        dist = 1 << k
+        round_tag = tag + k
+        for rank in range(nranks):
+            _emit_send(builder, frontier, rank, (rank + dist) % nranks, size, round_tag)
+        for rank in range(nranks):
+            _emit_recv(builder, frontier, rank, (rank - dist) % nranks, size, round_tag)
+
+
+# ---------------------------------------------------------------------------
+# broadcast / reduce (binomial trees)
+# ---------------------------------------------------------------------------
+
+def expand_bcast_binomial(
+    builder: GraphBuilder, frontier: Frontier, *, root: int, size: int, tag: int
+) -> None:
+    """Binomial-tree broadcast rooted at ``root``.
+
+    Ranks are renumbered relative to the root; in round ``k`` every rank whose
+    relative id is below ``2^k`` and has a partner ``rel + 2^k < P`` forwards
+    the message.
+    """
+    nranks = builder.nranks
+    if nranks < 2:
+        return
+    rounds = math.ceil(math.log2(nranks))
+    for k in range(rounds):
+        dist = 1 << k
+        round_tag = tag + k
+        for rel in range(dist):
+            partner_rel = rel + dist
+            if partner_rel >= nranks:
+                continue
+            src = (rel + root) % nranks
+            dst = (partner_rel + root) % nranks
+            _emit_send(builder, frontier, src, dst, size, round_tag)
+            _emit_recv(builder, frontier, dst, src, size, round_tag)
+
+
+def expand_bcast_linear(
+    builder: GraphBuilder, frontier: Frontier, *, root: int, size: int, tag: int
+) -> None:
+    """Linear broadcast: the root sends to every other rank in turn."""
+    nranks = builder.nranks
+    for offset in range(1, nranks):
+        dst = (root + offset) % nranks
+        _emit_send(builder, frontier, root, dst, size, tag)
+        _emit_recv(builder, frontier, dst, root, size, tag)
+
+
+def expand_reduce_binomial(
+    builder: GraphBuilder,
+    frontier: Frontier,
+    *,
+    root: int,
+    size: int,
+    tag: int,
+    reduce_cost_per_byte: float = _DEFAULT_REDUCE_TIME_PER_BYTE,
+) -> None:
+    """Binomial-tree reduction to ``root`` (mirror image of the broadcast)."""
+    nranks = builder.nranks
+    if nranks < 2:
+        return
+    rounds = math.ceil(math.log2(nranks))
+    for k in reversed(range(rounds)):
+        dist = 1 << k
+        round_tag = tag + k
+        for rel in range(dist):
+            partner_rel = rel + dist
+            if partner_rel >= nranks:
+                continue
+            receiver = (rel + root) % nranks
+            sender = (partner_rel + root) % nranks
+            _emit_send(builder, frontier, sender, receiver, size, round_tag)
+            _emit_recv(builder, frontier, receiver, sender, size, round_tag)
+            _emit_calc(builder, frontier, receiver, reduce_cost_per_byte * size)
+
+
+# ---------------------------------------------------------------------------
+# allreduce
+# ---------------------------------------------------------------------------
+
+def expand_allreduce_recursive_doubling(
+    builder: GraphBuilder,
+    frontier: Frontier,
+    *,
+    size: int,
+    tag: int,
+    reduce_cost_per_byte: float = _DEFAULT_REDUCE_TIME_PER_BYTE,
+) -> None:
+    """Recursive-doubling allreduce.
+
+    For a power-of-two number of ranks this is ``log2 P`` rounds in which rank
+    ``r`` exchanges the full vector with ``r XOR 2^k``.  For non-powers of two
+    the standard fold/unfold scheme is used: the first ``2 * rem`` ranks are
+    folded pairwise onto ``P' = 2^floor(log2 P)`` participants, which run the
+    power-of-two exchange, and the result is unfolded back.
+    """
+    nranks = builder.nranks
+    if nranks < 2:
+        return
+    pof2 = 1 << (nranks.bit_length() - 1)
+    rem = nranks - pof2
+    tag_cursor = tag
+
+    # fold: ranks [0, 2*rem) pair up; odd members send their vector to the even
+    # partner and drop out of the exchange phase.
+    participants: list[int] = []
+    for rank in range(nranks):
+        if rank < 2 * rem:
+            if rank % 2 == 1:
+                partner = rank - 1
+                _emit_send(builder, frontier, rank, partner, size, tag_cursor)
+                _emit_recv(builder, frontier, partner, rank, size, tag_cursor)
+                _emit_calc(builder, frontier, partner, reduce_cost_per_byte * size)
+            else:
+                participants.append(rank)
+        else:
+            participants.append(rank)
+    tag_cursor += 1
+
+    # recursive doubling among `pof2` participants (indexed by their position)
+    rounds = int(math.log2(pof2)) if pof2 > 1 else 0
+    for k in range(rounds):
+        dist = 1 << k
+        round_tag = tag_cursor + k
+        for idx, rank in enumerate(participants):
+            partner = participants[idx ^ dist]
+            _emit_send(builder, frontier, rank, partner, size, round_tag)
+        for idx, rank in enumerate(participants):
+            partner = participants[idx ^ dist]
+            _emit_recv(builder, frontier, rank, partner, size, round_tag)
+            _emit_calc(builder, frontier, rank, reduce_cost_per_byte * size)
+    tag_cursor += max(rounds, 1)
+
+    # unfold: even partners send the result back to the folded odd ranks.
+    for rank in range(nranks):
+        if rank < 2 * rem and rank % 2 == 1:
+            partner = rank - 1
+            _emit_send(builder, frontier, partner, rank, size, tag_cursor)
+            _emit_recv(builder, frontier, rank, partner, size, tag_cursor)
+
+
+def expand_allreduce_ring(
+    builder: GraphBuilder,
+    frontier: Frontier,
+    *,
+    size: int,
+    tag: int,
+    reduce_cost_per_byte: float = _DEFAULT_REDUCE_TIME_PER_BYTE,
+) -> None:
+    """Ring allreduce: reduce-scatter followed by allgather, ``2(P-1)`` steps.
+
+    Every step moves a ``size / P`` chunk to the next rank on the ring, which
+    creates a chain of ``2(P-1)`` dependent messages — exactly the property
+    that makes ICON much more latency sensitive under this algorithm
+    (Section IV-1).
+    """
+    nranks = builder.nranks
+    if nranks < 2:
+        return
+    chunk = _chunk_size(size, nranks)
+    steps = 2 * (nranks - 1)
+    for step in range(steps):
+        step_tag = tag + step
+        reducing = step < nranks - 1
+        for rank in range(nranks):
+            dst = (rank + 1) % nranks
+            _emit_send(builder, frontier, rank, dst, chunk, step_tag)
+        for rank in range(nranks):
+            src = (rank - 1) % nranks
+            _emit_recv(builder, frontier, rank, src, chunk, step_tag)
+            if reducing:
+                _emit_calc(builder, frontier, rank, reduce_cost_per_byte * chunk)
+
+
+def expand_allreduce_reduce_bcast(
+    builder: GraphBuilder,
+    frontier: Frontier,
+    *,
+    size: int,
+    tag: int,
+    root: int = 0,
+    reduce_cost_per_byte: float = _DEFAULT_REDUCE_TIME_PER_BYTE,
+) -> None:
+    """Allreduce implemented as a binomial reduce followed by a binomial bcast."""
+    nranks = builder.nranks
+    if nranks < 2:
+        return
+    rounds = math.ceil(math.log2(nranks))
+    expand_reduce_binomial(
+        builder,
+        frontier,
+        root=root,
+        size=size,
+        tag=tag,
+        reduce_cost_per_byte=reduce_cost_per_byte,
+    )
+    expand_bcast_binomial(builder, frontier, root=root, size=size, tag=tag + rounds + 1)
+
+
+# ---------------------------------------------------------------------------
+# allgather / alltoall / gather / scatter
+# ---------------------------------------------------------------------------
+
+def expand_allgather_ring(
+    builder: GraphBuilder, frontier: Frontier, *, size: int, tag: int
+) -> None:
+    """Ring allgather: ``P - 1`` steps, each moving one rank's contribution."""
+    nranks = builder.nranks
+    if nranks < 2:
+        return
+    for step in range(nranks - 1):
+        step_tag = tag + step
+        for rank in range(nranks):
+            dst = (rank + 1) % nranks
+            _emit_send(builder, frontier, rank, dst, size, step_tag)
+        for rank in range(nranks):
+            src = (rank - 1) % nranks
+            _emit_recv(builder, frontier, rank, src, size, step_tag)
+
+
+def expand_allgather_recursive_doubling(
+    builder: GraphBuilder, frontier: Frontier, *, size: int, tag: int
+) -> None:
+    """Recursive-doubling allgather; the exchanged volume doubles each round.
+
+    Non-power-of-two rank counts fall back to the ring algorithm, matching the
+    behaviour of common MPI implementations.
+    """
+    nranks = builder.nranks
+    if nranks < 2:
+        return
+    if nranks & (nranks - 1):
+        expand_allgather_ring(builder, frontier, size=size, tag=tag)
+        return
+    rounds = int(math.log2(nranks))
+    for k in range(rounds):
+        dist = 1 << k
+        round_tag = tag + k
+        volume = size * dist
+        for rank in range(nranks):
+            partner = rank ^ dist
+            _emit_send(builder, frontier, rank, partner, volume, round_tag)
+        for rank in range(nranks):
+            partner = rank ^ dist
+            _emit_recv(builder, frontier, rank, partner, volume, round_tag)
+
+
+def expand_alltoall_pairwise(
+    builder: GraphBuilder, frontier: Frontier, *, size: int, tag: int
+) -> None:
+    """Pairwise-exchange alltoall: ``P - 1`` rounds, partner ``(r + k) mod P``.
+
+    ``size`` is the per-peer payload (what each rank sends to each other
+    rank), matching ``MPI_Alltoall`` semantics.
+    """
+    nranks = builder.nranks
+    if nranks < 2:
+        return
+    for step in range(1, nranks):
+        step_tag = tag + step
+        for rank in range(nranks):
+            dst = (rank + step) % nranks
+            _emit_send(builder, frontier, rank, dst, size, step_tag)
+        for rank in range(nranks):
+            src = (rank - step) % nranks
+            _emit_recv(builder, frontier, rank, src, size, step_tag)
+
+
+def expand_gather_linear(
+    builder: GraphBuilder, frontier: Frontier, *, root: int, size: int, tag: int
+) -> None:
+    """Linear gather: every non-root rank sends its contribution to the root."""
+    nranks = builder.nranks
+    for offset in range(1, nranks):
+        src = (root + offset) % nranks
+        _emit_send(builder, frontier, src, root, size, tag)
+        _emit_recv(builder, frontier, root, src, size, tag)
+
+
+def expand_scatter_linear(
+    builder: GraphBuilder, frontier: Frontier, *, root: int, size: int, tag: int
+) -> None:
+    """Linear scatter: the root sends each rank its chunk."""
+    nranks = builder.nranks
+    for offset in range(1, nranks):
+        dst = (root + offset) % nranks
+        _emit_send(builder, frontier, root, dst, size, tag)
+        _emit_recv(builder, frontier, dst, root, size, tag)
+
+
+# ---------------------------------------------------------------------------
+# algorithm selection
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CollectiveAlgorithms:
+    """Which point-to-point algorithm Schedgen uses for each collective.
+
+    The defaults match common MPI implementations (and the paper's baseline
+    configuration): recursive doubling for allreduce, binomial trees for
+    rooted collectives, dissemination for barrier, ring for allgather and
+    pairwise exchange for alltoall.
+    """
+
+    allreduce: str = "recursive_doubling"
+    bcast: str = "binomial"
+    reduce: str = "binomial"
+    barrier: str = "dissemination"
+    allgather: str = "ring"
+    alltoall: str = "pairwise"
+    gather: str = "linear"
+    scatter: str = "linear"
+
+    _ALLREDUCE = ("recursive_doubling", "ring", "reduce_bcast")
+    _BCAST = ("binomial", "linear")
+    _REDUCE = ("binomial",)
+    _BARRIER = ("dissemination",)
+    _ALLGATHER = ("ring", "recursive_doubling")
+    _ALLTOALL = ("pairwise",)
+    _GATHER = ("linear",)
+    _SCATTER = ("linear",)
+
+    def __post_init__(self) -> None:
+        checks = {
+            "allreduce": self._ALLREDUCE,
+            "bcast": self._BCAST,
+            "reduce": self._REDUCE,
+            "barrier": self._BARRIER,
+            "allgather": self._ALLGATHER,
+            "alltoall": self._ALLTOALL,
+            "gather": self._GATHER,
+            "scatter": self._SCATTER,
+        }
+        for name, allowed in checks.items():
+            value = getattr(self, name)
+            if value not in allowed:
+                raise ValueError(
+                    f"unknown {name} algorithm {value!r}; expected one of {allowed}"
+                )
+
+    def with_allreduce(self, algorithm: str) -> "CollectiveAlgorithms":
+        """Convenience used by the ICON case study (Fig. 10)."""
+        from dataclasses import replace
+
+        return replace(self, allreduce=algorithm)

@@ -1,0 +1,202 @@
+"""GOAL-style serialisation of execution graphs.
+
+GOAL (Group Operation Assembly Language, Hoefler et al. 2009) is the textual
+schedule format produced by Schedgen and consumed by LogGOPSim.  We implement
+a faithful subset sufficient for round-tripping the execution graphs used in
+this reproduction:
+
+```
+num_ranks 2
+
+rank 0 {
+  l1: calc 1000
+  l2: send 8b to 1 tag 5
+  l3: recv 8b from 1 tag 6
+  l2 requires l1
+  l3 requires l2
+}
+
+rank 1 {
+  ...
+}
+```
+
+Costs are written in whole nanoseconds (GOAL's convention), message sizes in
+bytes.  Communication edges are not written explicitly — LogGOPSim re-derives
+them from send/recv matching — and neither do we when parsing: the graph is
+re-matched with the same FIFO rule used by the schedule builder.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from collections import defaultdict, deque
+from pathlib import Path
+from typing import TextIO
+
+from .graph import EdgeKind, ExecutionGraph, GraphBuilder, VertexKind
+
+__all__ = ["dump_goal", "dumps_goal", "load_goal", "loads_goal", "GoalFormatError"]
+
+_NS_PER_US = 1000.0
+
+_CALC_RE = re.compile(r"^l(?P<id>\d+):\s*calc\s+(?P<cost>\d+)$")
+_SEND_RE = re.compile(r"^l(?P<id>\d+):\s*send\s+(?P<size>\d+)b\s+to\s+(?P<peer>\d+)\s+tag\s+(?P<tag>-?\d+)$")
+_RECV_RE = re.compile(r"^l(?P<id>\d+):\s*recv\s+(?P<size>\d+)b\s+from\s+(?P<peer>\d+)\s+tag\s+(?P<tag>-?\d+)$")
+_REQ_RE = re.compile(r"^l(?P<dst>\d+)\s+requires\s+l(?P<src>\d+)$")
+
+
+class GoalFormatError(ValueError):
+    """Raised when a GOAL file cannot be parsed."""
+
+
+def dumps_goal(graph: ExecutionGraph) -> str:
+    """Serialise ``graph`` to a GOAL string."""
+    buffer = io.StringIO()
+    _write(graph, buffer)
+    return buffer.getvalue()
+
+
+def dump_goal(graph: ExecutionGraph, destination: str | Path | TextIO) -> None:
+    """Write ``graph`` in GOAL format to a path or stream."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            _write(graph, handle)
+    else:
+        _write(graph, destination)
+
+
+def _write(graph: ExecutionGraph, handle: TextIO) -> None:
+    handle.write(f"num_ranks {graph.nranks}\n")
+    # per-rank local label numbering
+    local_label: dict[int, int] = {}
+    for rank in range(graph.nranks):
+        vertices = graph.vertices_of_rank(rank)
+        handle.write(f"\nrank {rank} {{\n")
+        for local_id, vid in enumerate(vertices, start=1):
+            local_label[int(vid)] = local_id
+            kind = VertexKind(int(graph.kind[vid]))
+            if kind is VertexKind.CALC:
+                cost_ns = int(round(float(graph.cost[vid]) * _NS_PER_US))
+                handle.write(f"  l{local_id}: calc {cost_ns}\n")
+            elif kind is VertexKind.SEND:
+                handle.write(
+                    f"  l{local_id}: send {int(graph.size[vid])}b to "
+                    f"{int(graph.peer[vid])} tag {int(graph.tag[vid])}\n"
+                )
+            else:
+                handle.write(
+                    f"  l{local_id}: recv {int(graph.size[vid])}b from "
+                    f"{int(graph.peer[vid])} tag {int(graph.tag[vid])}\n"
+                )
+        # intra-rank dependency edges
+        for src, dst, kind in graph.edges():
+            if kind is not EdgeKind.DEP:
+                continue
+            if int(graph.rank[src]) != rank or int(graph.rank[dst]) != rank:
+                continue
+            handle.write(f"  l{local_label[dst]} requires l{local_label[src]}\n")
+        handle.write("}\n")
+
+
+def loads_goal(text: str) -> ExecutionGraph:
+    """Parse a GOAL string produced by :func:`dumps_goal`."""
+    return _read(io.StringIO(text))
+
+
+def load_goal(source: str | Path | TextIO) -> ExecutionGraph:
+    """Read a GOAL file from a path or stream."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read(handle)
+    return _read(source)
+
+
+def _read(handle: TextIO) -> ExecutionGraph:
+    lines = [line.rstrip() for line in handle.read().splitlines()]
+    if not lines or not lines[0].startswith("num_ranks"):
+        raise GoalFormatError("GOAL file must start with 'num_ranks N'")
+    try:
+        nranks = int(lines[0].split()[1])
+    except (IndexError, ValueError) as exc:
+        raise GoalFormatError(f"malformed num_ranks line: {lines[0]!r}") from exc
+
+    builder = GraphBuilder(nranks=nranks)
+    current_rank: int | None = None
+    local_to_global: dict[int, int] = {}
+    pending_deps: list[tuple[int, int]] = []
+
+    for lineno, raw in enumerate(lines[1:], start=2):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("rank "):
+            if not line.endswith("{"):
+                raise GoalFormatError(f"line {lineno}: expected 'rank N {{'")
+            try:
+                current_rank = int(line.split()[1])
+            except (IndexError, ValueError) as exc:
+                raise GoalFormatError(f"line {lineno}: malformed rank header") from exc
+            local_to_global = {}
+            continue
+        if line == "}":
+            current_rank = None
+            for src, dst in pending_deps:
+                builder.add_dependency(src, dst)
+            pending_deps = []
+            continue
+        if current_rank is None:
+            raise GoalFormatError(f"line {lineno}: statement outside a rank block")
+        if (m := _CALC_RE.match(line)) is not None:
+            vid = builder.add_calc(current_rank, int(m.group("cost")) / _NS_PER_US)
+            local_to_global[int(m.group("id"))] = vid
+        elif (m := _SEND_RE.match(line)) is not None:
+            vid = builder.add_send(
+                current_rank,
+                int(m.group("peer")),
+                int(m.group("size")),
+                tag=int(m.group("tag")),
+            )
+            local_to_global[int(m.group("id"))] = vid
+        elif (m := _RECV_RE.match(line)) is not None:
+            vid = builder.add_recv(
+                current_rank,
+                int(m.group("peer")),
+                int(m.group("size")),
+                tag=int(m.group("tag")),
+            )
+            local_to_global[int(m.group("id"))] = vid
+        elif (m := _REQ_RE.match(line)) is not None:
+            src_local, dst_local = int(m.group("src")), int(m.group("dst"))
+            if src_local not in local_to_global or dst_local not in local_to_global:
+                raise GoalFormatError(f"line {lineno}: dependency on undefined label")
+            pending_deps.append((local_to_global[src_local], local_to_global[dst_local]))
+        else:
+            raise GoalFormatError(f"line {lineno}: cannot parse {line!r}")
+
+    _rematch(builder)
+    return builder.freeze(validate=True)
+
+
+def _rematch(builder: GraphBuilder) -> None:
+    """Re-derive communication edges from send/recv FIFO matching."""
+    sends: dict[tuple[int, int, int], deque[int]] = defaultdict(deque)
+    recvs: dict[tuple[int, int, int], deque[int]] = defaultdict(deque)
+    for vid in range(builder.num_vertices):
+        kind = builder._kind[vid]
+        if kind == VertexKind.SEND:
+            key = (builder._rank[vid], builder._peer[vid], builder._tag[vid])
+            if recvs[key]:
+                builder.add_comm_edge(vid, recvs[key].popleft())
+            else:
+                sends[key].append(vid)
+        elif kind == VertexKind.RECV:
+            key = (builder._peer[vid], builder._rank[vid], builder._tag[vid])
+            if sends[key]:
+                builder.add_comm_edge(sends[key].popleft(), vid)
+            else:
+                recvs[key].append(vid)
+    leftovers = sum(len(q) for q in sends.values()) + sum(len(q) for q in recvs.values())
+    if leftovers:
+        raise GoalFormatError(f"{leftovers} unmatched send/recv operations in GOAL file")

@@ -1,0 +1,468 @@
+"""MPI execution graphs (the GOAL-like DAG used by LLAMP).
+
+An execution graph is a directed acyclic graph with three vertex types
+(Section II-A of the paper):
+
+``CALC``
+    a computation interval on one rank, with a fixed cost in microseconds;
+``SEND``
+    the CPU-side posting of a point-to-point send (costs ``o``);
+``RECV``
+    the CPU-side completion of a point-to-point receive (costs ``o``).
+
+Edges come in two flavours:
+
+``DEP``
+    an intra-rank happens-before edge (program order, or a wait-for-request
+    dependency);
+``COMM``
+    a communication edge from a ``SEND`` vertex to the matching ``RECV``
+    vertex; its cost under LogGPS is ``L + (s - 1) G`` for eager messages and
+    the rendezvous hand-shake for large ones.
+
+The graph is built incrementally with :class:`GraphBuilder` (plain Python
+lists, cheap appends) and then frozen into an :class:`ExecutionGraph`
+(NumPy arrays + CSR adjacency) for analysis, simulation and LP generation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "VertexKind",
+    "EdgeKind",
+    "GraphBuilder",
+    "ExecutionGraph",
+    "GraphValidationError",
+]
+
+
+class VertexKind(enum.IntEnum):
+    """Vertex types of the execution DAG."""
+
+    CALC = 0
+    SEND = 1
+    RECV = 2
+
+
+class EdgeKind(enum.IntEnum):
+    """Edge types of the execution DAG."""
+
+    DEP = 0
+    COMM = 1
+
+
+class GraphValidationError(ValueError):
+    """Raised when an execution graph violates a structural invariant."""
+
+
+@dataclass
+class GraphBuilder:
+    """Incrementally build an execution graph.
+
+    The builder stores vertices and edges in Python lists; call
+    :meth:`freeze` to obtain an immutable :class:`ExecutionGraph` backed by
+    NumPy arrays.
+    """
+
+    nranks: int
+    # vertex attribute columns
+    _kind: list[int] = field(default_factory=list)
+    _rank: list[int] = field(default_factory=list)
+    _cost: list[float] = field(default_factory=list)
+    _size: list[int] = field(default_factory=list)
+    _peer: list[int] = field(default_factory=list)
+    _tag: list[int] = field(default_factory=list)
+    _label: dict[int, str] = field(default_factory=dict)
+    # edges
+    _edge_src: list[int] = field(default_factory=list)
+    _edge_dst: list[int] = field(default_factory=list)
+    _edge_kind: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {self.nranks}")
+
+    # -- vertices -----------------------------------------------------------
+
+    def _add_vertex(
+        self,
+        kind: VertexKind,
+        rank: int,
+        cost: float,
+        size: int,
+        peer: int,
+        tag: int,
+        label: str | None,
+    ) -> int:
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        vid = len(self._kind)
+        self._kind.append(int(kind))
+        self._rank.append(rank)
+        self._cost.append(float(cost))
+        self._size.append(int(size))
+        self._peer.append(int(peer))
+        self._tag.append(int(tag))
+        if label is not None:
+            self._label[vid] = label
+        return vid
+
+    def add_calc(self, rank: int, cost: float, *, label: str | None = None) -> int:
+        """Add a computation vertex with ``cost`` microseconds of work."""
+        if cost < 0:
+            raise ValueError(f"calc cost must be non-negative, got {cost}")
+        return self._add_vertex(VertexKind.CALC, rank, cost, 0, -1, 0, label)
+
+    def add_send(
+        self, rank: int, peer: int, size: int, *, tag: int = 0, label: str | None = None
+    ) -> int:
+        """Add a send vertex (message of ``size`` bytes to ``peer``)."""
+        if size < 0:
+            raise ValueError(f"message size must be non-negative, got {size}")
+        if not 0 <= peer < self.nranks:
+            raise ValueError(f"send peer {peer} out of range [0, {self.nranks})")
+        return self._add_vertex(VertexKind.SEND, rank, 0.0, size, peer, tag, label)
+
+    def add_recv(
+        self, rank: int, peer: int, size: int, *, tag: int = 0, label: str | None = None
+    ) -> int:
+        """Add a receive vertex (message of ``size`` bytes from ``peer``)."""
+        if size < 0:
+            raise ValueError(f"message size must be non-negative, got {size}")
+        if not 0 <= peer < self.nranks:
+            raise ValueError(f"recv peer {peer} out of range [0, {self.nranks})")
+        return self._add_vertex(VertexKind.RECV, rank, 0.0, size, peer, tag, label)
+
+    # -- edges --------------------------------------------------------------
+
+    def add_dependency(self, src: int, dst: int) -> None:
+        """Add an intra-rank happens-before edge ``src -> dst``."""
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        if src == dst:
+            raise ValueError("self-dependency is not allowed")
+        self._edge_src.append(src)
+        self._edge_dst.append(dst)
+        self._edge_kind.append(int(EdgeKind.DEP))
+
+    def add_comm_edge(self, send: int, recv: int) -> None:
+        """Add a communication edge from a ``SEND`` vertex to a ``RECV`` vertex."""
+        self._check_vertex(send)
+        self._check_vertex(recv)
+        if self._kind[send] != VertexKind.SEND:
+            raise ValueError(f"vertex {send} is not a SEND vertex")
+        if self._kind[recv] != VertexKind.RECV:
+            raise ValueError(f"vertex {recv} is not a RECV vertex")
+        self._edge_src.append(send)
+        self._edge_dst.append(recv)
+        self._edge_kind.append(int(EdgeKind.COMM))
+
+    def chain(self, vertices: Sequence[int]) -> None:
+        """Add dependency edges connecting ``vertices`` in order."""
+        for u, v in zip(vertices, vertices[1:]):
+            self.add_dependency(u, v)
+
+    def _check_vertex(self, vid: int) -> None:
+        if not 0 <= vid < len(self._kind):
+            raise ValueError(f"vertex id {vid} out of range")
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._kind)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_src)
+
+    def freeze(self, *, validate: bool = True) -> "ExecutionGraph":
+        """Produce an immutable :class:`ExecutionGraph`."""
+        graph = ExecutionGraph(
+            nranks=self.nranks,
+            kind=np.asarray(self._kind, dtype=np.int8),
+            rank=np.asarray(self._rank, dtype=np.int32),
+            cost=np.asarray(self._cost, dtype=np.float64),
+            size=np.asarray(self._size, dtype=np.int64),
+            peer=np.asarray(self._peer, dtype=np.int32),
+            tag=np.asarray(self._tag, dtype=np.int64),
+            edge_src=np.asarray(self._edge_src, dtype=np.int64),
+            edge_dst=np.asarray(self._edge_dst, dtype=np.int64),
+            edge_kind=np.asarray(self._edge_kind, dtype=np.int8),
+            labels=dict(self._label),
+        )
+        if validate:
+            graph.validate()
+        return graph
+
+
+class ExecutionGraph:
+    """Immutable execution DAG with CSR adjacency and a cached topological order."""
+
+    def __init__(
+        self,
+        nranks: int,
+        kind: np.ndarray,
+        rank: np.ndarray,
+        cost: np.ndarray,
+        size: np.ndarray,
+        peer: np.ndarray,
+        tag: np.ndarray,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        edge_kind: np.ndarray,
+        labels: dict[int, str] | None = None,
+    ) -> None:
+        self.nranks = int(nranks)
+        self.kind = kind
+        self.rank = rank
+        self.cost = cost
+        self.size = size
+        self.peer = peer
+        self.tag = tag
+        self.edge_src = edge_src
+        self.edge_dst = edge_dst
+        self.edge_kind = edge_kind
+        self.labels = labels or {}
+
+        n = len(kind)
+        m = len(edge_src)
+        # CSR for successors and predecessors
+        self._succ_indptr, self._succ_indices, self._succ_edges = _build_csr(
+            edge_src, edge_dst, n
+        )
+        self._pred_indptr, self._pred_indices, self._pred_edges = _build_csr(
+            edge_dst, edge_src, n
+        )
+        self._topo_order: np.ndarray | None = None
+        self._num_edges = m
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.kind)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def num_events(self) -> int:
+        """Total number of vertices, the "events" count reported in the paper."""
+        return self.num_vertices
+
+    @property
+    def num_messages(self) -> int:
+        """Number of communication edges (point-to-point messages)."""
+        return int(np.count_nonzero(self.edge_kind == EdgeKind.COMM))
+
+    def successors(self, vid: int) -> np.ndarray:
+        """Vertex ids of the successors of ``vid``."""
+        return self._succ_indices[self._succ_indptr[vid]: self._succ_indptr[vid + 1]]
+
+    def predecessors(self, vid: int) -> np.ndarray:
+        """Vertex ids of the predecessors of ``vid``."""
+        return self._pred_indices[self._pred_indptr[vid]: self._pred_indptr[vid + 1]]
+
+    def out_degree(self, vid: int) -> int:
+        return int(self._succ_indptr[vid + 1] - self._succ_indptr[vid])
+
+    def in_degree(self, vid: int) -> int:
+        return int(self._pred_indptr[vid + 1] - self._pred_indptr[vid])
+
+    def in_edges(self, vid: int) -> Iterator[tuple[int, int, EdgeKind]]:
+        """Yield ``(src, dst, kind)`` for every incoming edge of ``vid``."""
+        start, stop = self._pred_indptr[vid], self._pred_indptr[vid + 1]
+        for pos in range(start, stop):
+            eid = self._pred_edges[pos]
+            yield (
+                int(self.edge_src[eid]),
+                vid,
+                EdgeKind(int(self.edge_kind[eid])),
+            )
+
+    def edges(self) -> Iterator[tuple[int, int, EdgeKind]]:
+        """Yield every edge as ``(src, dst, kind)``."""
+        for eid in range(self._num_edges):
+            yield (
+                int(self.edge_src[eid]),
+                int(self.edge_dst[eid]),
+                EdgeKind(int(self.edge_kind[eid])),
+            )
+
+    def vertices_of_rank(self, rank: int) -> np.ndarray:
+        """Vertex ids that belong to ``rank``."""
+        return np.flatnonzero(self.rank == rank)
+
+    def sources(self) -> np.ndarray:
+        """Vertices with no predecessors."""
+        indeg = np.diff(self._pred_indptr)
+        return np.flatnonzero(indeg == 0)
+
+    def sinks(self) -> np.ndarray:
+        """Vertices with no successors."""
+        outdeg = np.diff(self._succ_indptr)
+        return np.flatnonzero(outdeg == 0)
+
+    # -- algorithms ----------------------------------------------------------
+
+    def topological_order(self) -> np.ndarray:
+        """Return a topological ordering of the vertex ids (cached)."""
+        if self._topo_order is None:
+            self._topo_order = self._compute_topological_order()
+        return self._topo_order
+
+    def _compute_topological_order(self) -> np.ndarray:
+        n = self.num_vertices
+        indeg = np.diff(self._pred_indptr).astype(np.int64)
+        order = np.empty(n, dtype=np.int64)
+        # Kahn's algorithm with an explicit stack (deterministic order).
+        stack = list(np.flatnonzero(indeg == 0)[::-1])
+        pos = 0
+        succ_indptr, succ_indices = self._succ_indptr, self._succ_indices
+        while stack:
+            v = int(stack.pop())
+            order[pos] = v
+            pos += 1
+            for u in succ_indices[succ_indptr[v]: succ_indptr[v + 1]]:
+                indeg[u] -= 1
+                if indeg[u] == 0:
+                    stack.append(int(u))
+        if pos != n:
+            raise GraphValidationError(
+                f"graph contains a cycle: only {pos} of {n} vertices were ordered"
+            )
+        return order
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`GraphValidationError` otherwise."""
+        n = self.num_vertices
+        if n == 0:
+            raise GraphValidationError("execution graph has no vertices")
+        if np.any((self.rank < 0) | (self.rank >= self.nranks)):
+            raise GraphValidationError("vertex with rank outside [0, nranks)")
+        if np.any(self.cost < 0):
+            raise GraphValidationError("vertex with negative cost")
+        if self._num_edges:
+            if np.any((self.edge_src < 0) | (self.edge_src >= n)):
+                raise GraphValidationError("edge source out of range")
+            if np.any((self.edge_dst < 0) | (self.edge_dst >= n)):
+                raise GraphValidationError("edge destination out of range")
+        # communication edges must connect SEND -> RECV across matching ranks
+        comm = self.edge_kind == EdgeKind.COMM
+        for eid in np.flatnonzero(comm):
+            src, dst = int(self.edge_src[eid]), int(self.edge_dst[eid])
+            if self.kind[src] != VertexKind.SEND:
+                raise GraphValidationError(f"comm edge {eid} source {src} is not SEND")
+            if self.kind[dst] != VertexKind.RECV:
+                raise GraphValidationError(f"comm edge {eid} target {dst} is not RECV")
+            if self.peer[src] != self.rank[dst] or self.peer[dst] != self.rank[src]:
+                raise GraphValidationError(
+                    f"comm edge {eid}: peer/rank mismatch between send {src} and recv {dst}"
+                )
+            if self.size[src] != self.size[dst]:
+                raise GraphValidationError(
+                    f"comm edge {eid}: size mismatch ({self.size[src]} != {self.size[dst]})"
+                )
+        # every SEND/RECV must participate in exactly one comm edge
+        send_count = np.zeros(n, dtype=np.int64)
+        recv_count = np.zeros(n, dtype=np.int64)
+        np.add.at(send_count, self.edge_src[comm], 1)
+        np.add.at(recv_count, self.edge_dst[comm], 1)
+        sends = np.flatnonzero(self.kind == VertexKind.SEND)
+        recvs = np.flatnonzero(self.kind == VertexKind.RECV)
+        if np.any(send_count[sends] != 1):
+            bad = sends[send_count[sends] != 1]
+            raise GraphValidationError(f"unmatched SEND vertices: {bad[:10].tolist()}")
+        if np.any(recv_count[recvs] != 1):
+            bad = recvs[recv_count[recvs] != 1]
+            raise GraphValidationError(f"unmatched RECV vertices: {bad[:10].tolist()}")
+        # acyclicity (computes and caches the topological order)
+        self.topological_order()
+
+    def message_edges(self) -> np.ndarray:
+        """Edge indices of all communication edges."""
+        return np.flatnonzero(self.edge_kind == EdgeKind.COMM)
+
+    def longest_message_chain(self) -> int:
+        """Length (in messages) of the longest chain of dependent messages.
+
+        This bounds the latency sensitivity ``λ_L`` (Equation 3 of the
+        paper): no path can cross more communication edges than this.
+        """
+        depth = np.zeros(self.num_vertices, dtype=np.int64)
+        for v in self.topological_order():
+            start, stop = self._pred_indptr[v], self._pred_indptr[v + 1]
+            best = 0
+            for pos in range(start, stop):
+                eid = self._pred_edges[pos]
+                u = int(self.edge_src[eid])
+                add = 1 if self.edge_kind[eid] == EdgeKind.COMM else 0
+                best = max(best, depth[u] + add)
+            depth[v] = best
+        return int(depth.max()) if len(depth) else 0
+
+    # -- export --------------------------------------------------------------
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` (vertex/edge attributes preserved)."""
+        import networkx as nx
+
+        g = nx.DiGraph(nranks=self.nranks)
+        for vid in range(self.num_vertices):
+            g.add_node(
+                vid,
+                kind=VertexKind(int(self.kind[vid])).name,
+                rank=int(self.rank[vid]),
+                cost=float(self.cost[vid]),
+                size=int(self.size[vid]),
+                peer=int(self.peer[vid]),
+                tag=int(self.tag[vid]),
+                label=self.labels.get(vid, ""),
+            )
+        for src, dst, ekind in self.edges():
+            g.add_edge(src, dst, kind=ekind.name)
+        return g
+
+    def stats(self) -> dict[str, int]:
+        """Vertex/edge counts by type, used in reports and tests."""
+        return {
+            "vertices": self.num_vertices,
+            "edges": self.num_edges,
+            "calc": int(np.count_nonzero(self.kind == VertexKind.CALC)),
+            "send": int(np.count_nonzero(self.kind == VertexKind.SEND)),
+            "recv": int(np.count_nonzero(self.kind == VertexKind.RECV)),
+            "comm_edges": self.num_messages,
+            "dep_edges": self.num_edges - self.num_messages,
+            "nranks": self.nranks,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"ExecutionGraph(nranks={self.nranks}, vertices={s['vertices']}, "
+            f"messages={s['comm_edges']})"
+        )
+
+
+def _build_csr(
+    src: np.ndarray, dst: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build a CSR adjacency (indptr, indices, edge ids) keyed by ``src``."""
+    m = len(src)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    if m == 0:
+        return indptr, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    counts = np.bincount(src, minlength=n)
+    indptr[1:] = np.cumsum(counts)
+    order = np.argsort(src, kind="stable")
+    indices = dst[order].astype(np.int64, copy=False)
+    edge_ids = order.astype(np.int64, copy=False)
+    return indptr, indices, edge_ids

@@ -1,0 +1,34 @@
+"""LogGOPS discrete-event simulation, latency injection and noise models."""
+
+from .injector import (
+    INJECTOR_NAMES,
+    DelayThreadInjector,
+    IdealInjector,
+    LatencyInjector,
+    ReceiverProgressInjector,
+    SenderDelayInjector,
+    TwoMessageOutcome,
+    make_injector,
+    two_message_model,
+)
+from .loggops import LogGOPSSimulator, SimulationResult, simulate
+from .noise import GaussianNoise, NoiseModel, NoNoise, OSJitterNoise
+
+__all__ = [
+    "LogGOPSSimulator",
+    "SimulationResult",
+    "simulate",
+    "LatencyInjector",
+    "IdealInjector",
+    "SenderDelayInjector",
+    "ReceiverProgressInjector",
+    "DelayThreadInjector",
+    "make_injector",
+    "INJECTOR_NAMES",
+    "TwoMessageOutcome",
+    "two_message_model",
+    "NoiseModel",
+    "NoNoise",
+    "GaussianNoise",
+    "OSJitterNoise",
+]

@@ -1,0 +1,200 @@
+"""Network latency injection strategies (Fig. 8 of the paper).
+
+The paper validates LLAMP by *injecting* an extra latency ΔL into the network
+and comparing the measured slowdown with the model's prediction.  Doing this
+accurately in software is subtle; Fig. 8 contrasts four strategies on a
+two-message micro-benchmark (sender posts two eager sends back to back,
+receiver has both receives pre-posted):
+
+``A — ideal``
+    ΔL is added to the wire.  The sender finishes at ``2o``; the second
+    message is delivered at ``3o + L0 + B + ΔL``.
+``B — sender delay`` (Underwood et al.)
+    The send call itself is delayed by ΔL, so the *sender* finishes late
+    (``2o + 2ΔL``) and the receiver sees ``3o + L0 + B + 2ΔL``.
+``C — receiver progress thread``
+    A single progress thread serialises the delays: when ΔL exceeds the time
+    between arrivals the second message waits behind the first and is
+    released at ``2o + L0 + B + 2ΔL``.
+``D — progress + delay threads`` (the paper's injector)
+    Each message is stamped on arrival and released exactly ΔL later, which
+    reproduces the ideal behaviour.
+
+Here the strategies are implemented as message-delivery policies for the
+discrete-event simulator (:mod:`repro.simulator.loggops`) plus a closed-form
+model of the two-message micro-benchmark used by the Fig. 8 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..network.params import LogGPSParams
+
+__all__ = [
+    "LatencyInjector",
+    "IdealInjector",
+    "SenderDelayInjector",
+    "ReceiverProgressInjector",
+    "DelayThreadInjector",
+    "make_injector",
+    "INJECTOR_NAMES",
+    "TwoMessageOutcome",
+    "two_message_model",
+]
+
+
+class LatencyInjector(Protocol):
+    """Message-delivery policy used by the LogGOPS simulator.
+
+    ``send_extra_delay`` is added to the duration of the send operation on
+    the sender's CPU; ``release_time`` maps a message's nominal arrival time
+    at the destination rank to the time at which the application may observe
+    it.
+    """
+
+    delta: float
+
+    def reset(self) -> None:
+        """Clear any per-run state (called once per simulation)."""
+
+    def send_extra_delay(self, src_rank: int) -> float:
+        """Extra time the send call occupies the sender's CPU."""
+
+    def release_time(self, dst_rank: int, arrival: float) -> float:
+        """Time at which a message arriving at ``arrival`` is handed to the app."""
+
+
+@dataclass
+class IdealInjector:
+    """Strategy A: ΔL is added to the wire latency itself."""
+
+    delta: float = 0.0
+
+    def reset(self) -> None:  # pragma: no cover - stateless
+        return
+
+    def send_extra_delay(self, src_rank: int) -> float:
+        return 0.0
+
+    def release_time(self, dst_rank: int, arrival: float) -> float:
+        return arrival + self.delta
+
+
+@dataclass
+class SenderDelayInjector:
+    """Strategy B: the send operation itself is delayed by ΔL.
+
+    This is the approach of Underwood et al. hooked into ``post_send``; it
+    inadvertently delays the *sender's* progress and therefore every
+    subsequent send.
+    """
+
+    delta: float = 0.0
+
+    def reset(self) -> None:  # pragma: no cover - stateless
+        return
+
+    def send_extra_delay(self, src_rank: int) -> float:
+        return self.delta
+
+    def release_time(self, dst_rank: int, arrival: float) -> float:
+        return arrival
+
+
+@dataclass
+class ReceiverProgressInjector:
+    """Strategy C: a single receiver-side progress thread serialises delays."""
+
+    delta: float = 0.0
+    _busy_until: dict[int, float] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self._busy_until.clear()
+
+    def send_extra_delay(self, src_rank: int) -> float:
+        return 0.0
+
+    def release_time(self, dst_rank: int, arrival: float) -> float:
+        start = max(arrival, self._busy_until.get(dst_rank, 0.0))
+        release = start + self.delta
+        self._busy_until[dst_rank] = release
+        return release
+
+
+@dataclass
+class DelayThreadInjector:
+    """Strategy D (the paper's injector): per-message timestamp + delay thread.
+
+    Each message is stamped on arrival and released exactly ΔL later,
+    independent of other in-flight messages, so the observable behaviour
+    matches the ideal strategy A.
+    """
+
+    delta: float = 0.0
+
+    def reset(self) -> None:  # pragma: no cover - stateless
+        return
+
+    def send_extra_delay(self, src_rank: int) -> float:
+        return 0.0
+
+    def release_time(self, dst_rank: int, arrival: float) -> float:
+        return arrival + self.delta
+
+
+INJECTOR_NAMES = ("ideal", "sender_delay", "receiver_progress", "delay_thread")
+
+
+def make_injector(name: str, delta: float) -> LatencyInjector:
+    """Create an injector by name (one of :data:`INJECTOR_NAMES`)."""
+    if name == "ideal":
+        return IdealInjector(delta)
+    if name == "sender_delay":
+        return SenderDelayInjector(delta)
+    if name == "receiver_progress":
+        return ReceiverProgressInjector(delta)
+    if name == "delay_thread":
+        return DelayThreadInjector(delta)
+    raise ValueError(f"unknown injector {name!r}; expected one of {INJECTOR_NAMES}")
+
+
+@dataclass(frozen=True)
+class TwoMessageOutcome:
+    """Completion times of the Fig. 8 micro-benchmark."""
+
+    sender_finish: float
+    receiver_finish: float
+
+
+def two_message_model(
+    params: LogGPSParams, delta: float, strategy: str, size: int = 1
+) -> TwoMessageOutcome:
+    """Closed-form Fig. 8 model: two back-to-back eager sends, receives pre-posted.
+
+    ``sender_finish`` is the time at which the sender completes both sends
+    (``t_R0`` in the figure), ``receiver_finish`` the time at which the
+    receiver has observed both messages (``t_R1``).  Both ranks start at 0 and
+    the receiver's pre-posted receives cost one ``o`` each on completion.
+    """
+    o, L0 = params.o, params.L
+    B = params.bandwidth_cost(size)
+    if strategy == "ideal" or strategy == "delay_thread":
+        sender = 2 * o
+        receiver = 3 * o + L0 + B + delta
+    elif strategy == "sender_delay":
+        sender = 2 * o + 2 * delta
+        receiver = 3 * o + L0 + B + 2 * delta
+    elif strategy == "receiver_progress":
+        sender = 2 * o
+        # The progress thread is still serving the first message's delay when
+        # the second arrives (whenever delta > o), so the second message is
+        # released 2*delta after its arrival-driven lower bound.
+        first_release = o + L0 + B + delta
+        second_arrival = 2 * o + L0 + B
+        second_release = max(second_arrival, first_release) + delta
+        receiver = second_release + o
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}; expected one of {INJECTOR_NAMES}")
+    return TwoMessageOutcome(sender_finish=sender, receiver_finish=receiver)

@@ -1,0 +1,27 @@
+"""liballprof-style MPI traces: in-memory records and text serialisation."""
+
+from .format import TraceFormatError, dump_trace, dumps_trace, load_trace, loads_trace
+from .records import (
+    COLLECTIVE_OPS,
+    NONBLOCKING_OPS,
+    P2P_OPS,
+    MPIOp,
+    RankTrace,
+    Trace,
+    TraceRecord,
+)
+
+__all__ = [
+    "MPIOp",
+    "TraceRecord",
+    "RankTrace",
+    "Trace",
+    "P2P_OPS",
+    "COLLECTIVE_OPS",
+    "NONBLOCKING_OPS",
+    "dump_trace",
+    "dumps_trace",
+    "load_trace",
+    "loads_trace",
+    "TraceFormatError",
+]

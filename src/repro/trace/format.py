@@ -1,0 +1,198 @@
+"""Text serialisation of traces, modelled after ``liballprof``.
+
+The original tracer writes one file per rank; each line records one MPI call
+as colon-separated fields starting with the operation name, the start
+timestamp and the end timestamp, followed by call-specific arguments
+(Fig. 2 of the paper shows e.g. ``MPI_Irecv:1547003:0:3500:15:1:1:5:6:1547032``).
+
+Our format keeps that spirit but is self-describing and lossless with respect
+to :class:`repro.trace.records.TraceRecord`:
+
+```
+# llamp-trace v1
+# meta key=value
+@rank 0
+MPI_Init:0.000:1.200
+MPI_Isend:1.200:1.450:peer=1:size=4096:tag=7:request=0
+MPI_Wait:1.450:1.500:request=0
+MPI_Allreduce:1.500:9.100:size=8:comm_size=128
+MPI_Finalize:9.100:9.200
+@rank 1
+...
+```
+
+Timestamps are microseconds with fixed precision.  Unknown keys are rejected
+so format drift is caught early.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from .records import MPIOp, RankTrace, Trace, TraceRecord
+
+__all__ = [
+    "dump_trace",
+    "dumps_trace",
+    "load_trace",
+    "loads_trace",
+    "TraceFormatError",
+]
+
+_HEADER = "# llamp-trace v1"
+_TIME_PRECISION = 6
+
+_INT_FIELDS = {
+    "peer",
+    "size",
+    "tag",
+    "comm_size",
+    "request",
+    "recv_peer",
+    "recv_size",
+    "recv_tag",
+}
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file cannot be parsed."""
+
+
+def _format_record(rec: TraceRecord) -> str:
+    parts = [
+        rec.op.value,
+        f"{rec.tstart:.{_TIME_PRECISION}f}",
+        f"{rec.tend:.{_TIME_PRECISION}f}",
+    ]
+    if rec.peer >= 0:
+        parts.append(f"peer={rec.peer}")
+    if rec.size:
+        parts.append(f"size={rec.size}")
+    if rec.tag:
+        parts.append(f"tag={rec.tag}")
+    if rec.comm_size:
+        parts.append(f"comm_size={rec.comm_size}")
+    if rec.request >= 0:
+        parts.append(f"request={rec.request}")
+    if rec.requests:
+        parts.append("requests=" + ",".join(str(r) for r in rec.requests))
+    if rec.recv_peer >= 0:
+        parts.append(f"recv_peer={rec.recv_peer}")
+    if rec.recv_size:
+        parts.append(f"recv_size={rec.recv_size}")
+    if rec.recv_tag:
+        parts.append(f"recv_tag={rec.recv_tag}")
+    return ":".join(parts)
+
+
+def _parse_record(line: str, lineno: int) -> TraceRecord:
+    fields = line.split(":")
+    if len(fields) < 3:
+        raise TraceFormatError(f"line {lineno}: expected at least op:tstart:tend, got {line!r}")
+    op_name, tstart_s, tend_s, *rest = fields
+    try:
+        op = MPIOp(op_name)
+    except ValueError as exc:
+        raise TraceFormatError(f"line {lineno}: unknown MPI operation {op_name!r}") from exc
+    try:
+        tstart = float(tstart_s)
+        tend = float(tend_s)
+    except ValueError as exc:
+        raise TraceFormatError(f"line {lineno}: bad timestamps {tstart_s!r}/{tend_s!r}") from exc
+
+    kwargs: dict[str, object] = {}
+    for item in rest:
+        if "=" not in item:
+            raise TraceFormatError(f"line {lineno}: malformed field {item!r}")
+        key, value = item.split("=", 1)
+        if key == "requests":
+            kwargs[key] = tuple(int(v) for v in value.split(",") if v)
+        elif key in _INT_FIELDS:
+            kwargs[key] = int(value)
+        else:
+            raise TraceFormatError(f"line {lineno}: unknown field {key!r}")
+    try:
+        return TraceRecord(op=op, tstart=tstart, tend=tend, **kwargs)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise TraceFormatError(f"line {lineno}: {exc}") from exc
+
+
+def dump_trace(trace: Trace, destination: str | Path | TextIO) -> None:
+    """Write ``trace`` to a file path or text stream."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            _write(trace, handle)
+    else:
+        _write(trace, destination)
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Serialise ``trace`` to a string."""
+    buffer = io.StringIO()
+    _write(trace, buffer)
+    return buffer.getvalue()
+
+
+def _write(trace: Trace, handle: TextIO) -> None:
+    handle.write(_HEADER + "\n")
+    for key, value in sorted(trace.meta.items()):
+        handle.write(f"# meta {key}={value}\n")
+    for rank_trace in trace.ranks:
+        handle.write(f"@rank {rank_trace.rank}\n")
+        for rec in rank_trace:
+            handle.write(_format_record(rec) + "\n")
+
+
+def load_trace(source: str | Path | TextIO) -> Trace:
+    """Read a trace from a file path or text stream."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read(handle)
+    return _read(source)
+
+
+def loads_trace(text: str) -> Trace:
+    """Parse a trace from a string produced by :func:`dumps_trace`."""
+    return _read(io.StringIO(text))
+
+
+def _read(handle: TextIO) -> Trace:
+    lines = handle.read().splitlines()
+    if not lines or lines[0].strip() != _HEADER:
+        raise TraceFormatError(f"missing header {_HEADER!r}")
+
+    meta: dict[str, str] = {}
+    rank_traces: list[RankTrace] = []
+    current: RankTrace | None = None
+
+    for lineno, raw in enumerate(lines[1:], start=2):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# meta "):
+            body = line[len("# meta "):]
+            if "=" not in body:
+                raise TraceFormatError(f"line {lineno}: malformed meta line {line!r}")
+            key, value = body.split("=", 1)
+            meta[key.strip()] = value.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        if line.startswith("@rank "):
+            try:
+                rank = int(line[len("@rank "):])
+            except ValueError as exc:
+                raise TraceFormatError(f"line {lineno}: bad rank header {line!r}") from exc
+            current = RankTrace(rank=rank)
+            rank_traces.append(current)
+            continue
+        if current is None:
+            raise TraceFormatError(f"line {lineno}: record before any '@rank' header")
+        current.append(_parse_record(line, lineno))
+
+    rank_traces.sort(key=lambda rt: rt.rank)
+    trace = Trace(ranks=rank_traces, meta=meta)
+    trace.validate()
+    return trace

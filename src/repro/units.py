@@ -1,0 +1,63 @@
+"""Canonical units used throughout the package.
+
+All durations are expressed in **microseconds** (``float``) and all message
+sizes in **bytes** (``int``).  The constants below convert the usual HPC
+notation into the canonical unit so code can be written close to the paper,
+e.g. ``L = 3.0 * US`` or ``G = 0.018 * NS_PER_BYTE``.
+"""
+
+from __future__ import annotations
+
+#: one nanosecond, in microseconds
+NS: float = 1e-3
+#: one microsecond (the canonical unit)
+US: float = 1.0
+#: one millisecond, in microseconds
+MS: float = 1e3
+#: one second, in microseconds
+SEC: float = 1e6
+
+#: gap-per-byte expressed in nanoseconds per byte (``G`` in LogGP papers)
+NS_PER_BYTE: float = NS
+#: gap-per-byte expressed in microseconds per byte
+US_PER_BYTE: float = US
+
+#: one kibibyte
+KIB: int = 1024
+#: one mebibyte
+MIB: int = 1024 * 1024
+#: one gibibyte
+GIB: int = 1024 * 1024 * 1024
+
+
+def us_to_seconds(value_us: float) -> float:
+    """Convert a duration in microseconds to seconds."""
+    return value_us / SEC
+
+
+def seconds_to_us(value_s: float) -> float:
+    """Convert a duration in seconds to microseconds."""
+    return value_s * SEC
+
+
+def bandwidth_to_gap(bandwidth_gbit_s: float) -> float:
+    """Convert a link bandwidth in Gbit/s into the LogGP ``G`` parameter.
+
+    ``G`` is the gap per byte, i.e. the inverse of the bandwidth, expressed in
+    microseconds per byte.
+
+    >>> round(bandwidth_to_gap(56.0), 9)   # ConnectX-3 56 Gbit/s
+    1.43e-07
+    """
+    if bandwidth_gbit_s <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_gbit_s}")
+    bytes_per_us = bandwidth_gbit_s * 1e9 / 8.0 / 1e6
+    return 1.0 / bytes_per_us
+
+
+def gap_to_bandwidth(gap_us_per_byte: float) -> float:
+    """Convert the LogGP ``G`` parameter back into a bandwidth in Gbit/s."""
+    if gap_us_per_byte <= 0:
+        raise ValueError(f"gap must be positive, got {gap_us_per_byte}")
+    bytes_per_us = 1.0 / gap_us_per_byte
+    return bytes_per_us * 1e6 * 8.0 / 1e9

@@ -1,0 +1,199 @@
+"""Tests for the application skeletons."""
+
+import pytest
+
+from repro import CSCS_TESTBED, LatencyAnalyzer
+from repro.apps import (
+    ALL_APPS,
+    VALIDATION_APPS,
+    cartesian_grid,
+    cloverleaf,
+    hpcg,
+    icon,
+    lammps,
+    lulesh,
+    milc,
+    namd,
+    neighbor_ranks,
+    npb,
+    openmx,
+)
+from repro.apps._base import grid_coords, grid_rank
+from repro.schedgen import CollectiveAlgorithms
+
+FAST = dict(
+    lulesh=dict(iterations=4),
+    hpcg=dict(iterations=3),
+    milc=dict(trajectories=1, cg_iterations=3),
+    icon=dict(steps=4),
+    lammps=dict(steps=6),
+    openmx=dict(scf_iterations=3),
+    cloverleaf=dict(steps=6),
+)
+
+
+class TestGridHelpers:
+    @pytest.mark.parametrize("nranks,ndims", [(8, 3), (12, 3), (27, 3), (7, 2), (1, 3), (64, 4)])
+    def test_cartesian_grid_product(self, nranks, ndims):
+        dims = cartesian_grid(nranks, ndims)
+        product = 1
+        for d in dims:
+            product *= d
+        assert product == nranks
+        assert len(dims) == ndims
+        assert list(dims) == sorted(dims, reverse=True)
+
+    def test_grid_coords_round_trip(self):
+        dims = (4, 3, 2)
+        for rank in range(24):
+            assert grid_rank(grid_coords(rank, dims), dims) == rank
+
+    def test_neighbor_symmetry(self):
+        dims = cartesian_grid(12, 3)
+        for rank in range(12):
+            for neighbor in neighbor_ranks(rank, dims, periodic=True):
+                assert rank in neighbor_ranks(neighbor, dims, periodic=True)
+
+    def test_nonperiodic_boundary_has_fewer_neighbors(self):
+        dims = (4, 1, 1)
+        corner = neighbor_ranks(0, dims, periodic=False)
+        middle = neighbor_ranks(1, dims, periodic=False)
+        assert len(corner) == 1 and len(middle) == 2
+
+    def test_invalid_grid_args(self):
+        with pytest.raises(ValueError):
+            cartesian_grid(0, 3)
+        with pytest.raises(ValueError):
+            cartesian_grid(4, 0)
+        with pytest.raises(ValueError):
+            grid_rank((5, 0), (4, 2))
+
+
+@pytest.mark.parametrize("name", sorted(VALIDATION_APPS))
+class TestValidationApps:
+    def test_program_and_graph_build(self, name):
+        module = VALIDATION_APPS[name]
+        program = module.program(4, **FAST.get(name, {}))
+        assert program.nranks == 4
+        graph = module.build(4, params=CSCS_TESTBED, **FAST.get(name, {}))
+        graph.validate()
+        assert graph.num_messages > 0
+        assert graph.nranks == 4
+
+    def test_descriptor_present(self, name):
+        module = VALIDATION_APPS[name]
+        assert module.DESCRIPTOR.name == name
+        assert module.DESCRIPTOR.scaling in ("weak", "strong")
+
+    def test_analyzable(self, name):
+        module = VALIDATION_APPS[name]
+        graph = module.build(4, params=CSCS_TESTBED, **FAST.get(name, {}))
+        analyzer = LatencyAnalyzer(graph, CSCS_TESTBED)
+        runtime = analyzer.predict_runtime()
+        assert runtime > 0
+        assert analyzer.latency_sensitivity() > 0
+
+
+class TestScalingBehaviour:
+    def test_strong_scaling_reduces_per_rank_compute(self):
+        small = milc.program(2, trajectories=1, cg_iterations=2)
+        large = milc.program(8, trajectories=1, cg_iterations=2)
+        assert large.rank(0).total_compute < small.rank(0).total_compute
+
+    def test_weak_scaling_keeps_per_rank_compute(self):
+        small = lulesh.program(2, iterations=3)
+        large = lulesh.program(8, iterations=3)
+        assert large.rank(0).total_compute == pytest.approx(
+            small.rank(0).total_compute, rel=1e-6
+        )
+
+    def test_latency_tolerance_ordering_matches_paper(self):
+        """MILC < LULESH <= HPCG << ICON (Fig. 1 / Fig. 9)."""
+        tolerances = {}
+        configs = {
+            "milc": dict(trajectories=2, cg_iterations=8),
+            "lulesh": dict(iterations=10),
+            "hpcg": dict(iterations=10),
+            "icon": dict(steps=8),
+        }
+        for name in ("milc", "lulesh", "hpcg", "icon"):
+            graph = VALIDATION_APPS[name].build(8, params=CSCS_TESTBED, **configs[name])
+            analyzer = LatencyAnalyzer(graph, CSCS_TESTBED)
+            tolerances[name] = analyzer.latency_tolerance(0.01, absolute=False)
+        assert tolerances["milc"] < tolerances["lulesh"]
+        assert tolerances["milc"] < tolerances["hpcg"]
+        assert tolerances["icon"] > 3 * tolerances["hpcg"]
+
+    def test_icon_ring_allreduce_is_more_sensitive(self):
+        """Fig. 10: the ring allreduce makes ICON much more latency sensitive."""
+        rd = icon.build(8, params=CSCS_TESTBED, steps=6)
+        ring = icon.build(
+            8, params=CSCS_TESTBED, steps=6,
+            algorithms=CollectiveAlgorithms(allreduce="ring"),
+        )
+        lam_rd = LatencyAnalyzer(rd, CSCS_TESTBED).latency_sensitivity()
+        lam_ring = LatencyAnalyzer(ring, CSCS_TESTBED).latency_sensitivity()
+        assert lam_ring > lam_rd
+
+
+class TestNPB:
+    @pytest.mark.parametrize("kernel", npb.KERNELS)
+    def test_all_kernels_build(self, kernel):
+        graph = npb.build(4, params=CSCS_TESTBED, kernel=kernel)
+        graph.validate()
+        assert graph.num_events > 0
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            npb.program(4, kernel="zz")
+
+    def test_ep_has_fewest_messages(self):
+        counts = {
+            kernel: npb.build(4, params=CSCS_TESTBED, kernel=kernel).num_messages
+            for kernel in ("ep", "cg", "lu")
+        }
+        assert counts["ep"] < counts["cg"]
+        assert counts["ep"] < counts["lu"]
+
+    def test_lu_has_long_message_chains(self):
+        lu = npb.build_lu(4, params=CSCS_TESTBED, iterations=5)
+        ep = npb.build_ep(4, params=CSCS_TESTBED)
+        assert lu.longest_message_chain() > ep.longest_message_chain()
+
+
+class TestNAMD:
+    def test_adaptation_increases_overlap(self):
+        """Traces recorded at larger ΔL predict flatter latency response (Fig. 12)."""
+        base = namd.build(8, params=CSCS_TESTBED, steps=10, recorded_delta_us=0.0)
+        adapted = namd.build(8, params=CSCS_TESTBED, steps=10, recorded_delta_us=100.0)
+        an_base = LatencyAnalyzer(base, CSCS_TESTBED)
+        an_adapted = LatencyAnalyzer(adapted, CSCS_TESTBED)
+        # at a large ΔL the adapted schedule hides more latency
+        delta = 150.0
+        slowdown_base = an_base.predict_runtime(delta) / an_base.baseline_runtime()
+        slowdown_adapted = an_adapted.predict_runtime(delta) / an_adapted.baseline_runtime()
+        assert slowdown_adapted < slowdown_base
+
+    def test_negative_recorded_delta_rejected(self):
+        with pytest.raises(ValueError):
+            namd.program(4, recorded_delta_us=-1.0)
+
+
+class TestRegistry:
+    def test_all_apps_registry(self):
+        assert set(VALIDATION_APPS).issubset(set(ALL_APPS))
+        assert "npb" in ALL_APPS and "namd" in ALL_APPS
+
+    def test_invalid_iterations_rejected(self):
+        for name, module in VALIDATION_APPS.items():
+            with pytest.raises(ValueError):
+                if name == "milc":
+                    module.program(4, trajectories=0)
+                elif name == "icon":
+                    module.program(4, steps=0)
+                elif name in ("lammps", "cloverleaf"):
+                    module.program(4, steps=0)
+                elif name == "openmx":
+                    module.program(4, scf_iterations=0)
+                else:
+                    module.program(4, iterations=0)

@@ -1,0 +1,169 @@
+"""Tests for the execution graph data structure."""
+
+import numpy as np
+import pytest
+
+from repro.schedgen.graph import (
+    EdgeKind,
+    ExecutionGraph,
+    GraphBuilder,
+    GraphValidationError,
+    VertexKind,
+)
+
+
+def small_graph() -> ExecutionGraph:
+    b = GraphBuilder(nranks=2)
+    c0 = b.add_calc(0, 2.0)
+    s = b.add_send(0, 1, 100, tag=3)
+    c1 = b.add_calc(0, 1.0)
+    b.chain([c0, s, c1])
+    c2 = b.add_calc(1, 0.5)
+    r = b.add_recv(1, 0, 100, tag=3)
+    b.chain([c2, r])
+    b.add_comm_edge(s, r)
+    return b.freeze()
+
+
+class TestGraphBuilder:
+    def test_vertex_attributes(self):
+        g = small_graph()
+        assert g.num_vertices == 5
+        assert g.kind[1] == VertexKind.SEND
+        assert g.size[1] == 100 and g.peer[1] == 1 and g.tag[1] == 3
+        assert g.rank[3] == 1
+
+    def test_rank_out_of_range(self):
+        b = GraphBuilder(nranks=2)
+        with pytest.raises(ValueError):
+            b.add_calc(2, 1.0)
+
+    def test_negative_cost_rejected(self):
+        b = GraphBuilder(nranks=1)
+        with pytest.raises(ValueError):
+            b.add_calc(0, -1.0)
+
+    def test_self_dependency_rejected(self):
+        b = GraphBuilder(nranks=1)
+        v = b.add_calc(0, 1.0)
+        with pytest.raises(ValueError):
+            b.add_dependency(v, v)
+
+    def test_comm_edge_type_checked(self):
+        b = GraphBuilder(nranks=2)
+        c = b.add_calc(0, 1.0)
+        r = b.add_recv(1, 0, 8)
+        with pytest.raises(ValueError, match="not a SEND"):
+            b.add_comm_edge(c, r)
+
+    def test_send_peer_range_checked(self):
+        b = GraphBuilder(nranks=2)
+        with pytest.raises(ValueError):
+            b.add_send(0, 5, 8)
+
+    def test_nranks_positive(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(nranks=0)
+
+
+class TestExecutionGraph:
+    def test_stats(self):
+        stats = small_graph().stats()
+        assert stats["calc"] == 3 and stats["send"] == 1 and stats["recv"] == 1
+        assert stats["comm_edges"] == 1
+        assert stats["dep_edges"] == 3
+
+    def test_successors_predecessors(self):
+        g = small_graph()
+        assert list(g.successors(0)) == [1]
+        assert set(g.successors(1)) == {2, 4}  # local successor + comm edge
+        assert list(g.predecessors(4)) == [3, 1] or set(g.predecessors(4)) == {1, 3}
+        assert g.in_degree(4) == 2
+        assert g.out_degree(1) == 2
+
+    def test_sources_and_sinks(self):
+        g = small_graph()
+        assert set(g.sources()) == {0, 3}
+        assert set(g.sinks()) == {2, 4}
+
+    def test_topological_order_is_valid(self):
+        g = small_graph()
+        order = g.topological_order()
+        position = {int(v): i for i, v in enumerate(order)}
+        for src, dst, _ in g.edges():
+            assert position[src] < position[dst]
+
+    def test_cycle_detection(self):
+        b = GraphBuilder(nranks=1)
+        a = b.add_calc(0, 1.0)
+        c = b.add_calc(0, 1.0)
+        b.add_dependency(a, c)
+        b.add_dependency(c, a)
+        with pytest.raises(GraphValidationError, match="cycle"):
+            b.freeze()
+
+    def test_unmatched_send_detected(self):
+        b = GraphBuilder(nranks=2)
+        b.add_send(0, 1, 8)
+        with pytest.raises(GraphValidationError, match="unmatched SEND"):
+            b.freeze()
+
+    def test_size_mismatch_detected(self):
+        b = GraphBuilder(nranks=2)
+        s = b.add_send(0, 1, 8)
+        r = b.add_recv(1, 0, 16)
+        b.add_comm_edge(s, r)
+        with pytest.raises(GraphValidationError, match="size mismatch"):
+            b.freeze()
+
+    def test_peer_mismatch_detected(self):
+        b = GraphBuilder(nranks=3)
+        s = b.add_send(0, 2, 8)
+        r = b.add_recv(1, 0, 8)
+        b.add_comm_edge(s, r)
+        with pytest.raises(GraphValidationError, match="mismatch"):
+            b.freeze()
+
+    def test_vertices_of_rank(self):
+        g = small_graph()
+        assert set(g.vertices_of_rank(0)) == {0, 1, 2}
+        assert set(g.vertices_of_rank(1)) == {3, 4}
+
+    def test_message_edges_and_counts(self):
+        g = small_graph()
+        assert g.num_messages == 1
+        assert len(g.message_edges()) == 1
+        assert g.num_events == g.num_vertices
+
+    def test_longest_message_chain(self):
+        g = small_graph()
+        assert g.longest_message_chain() == 1
+
+    def test_longest_message_chain_two_hops(self):
+        b = GraphBuilder(nranks=3)
+        s0 = b.add_send(0, 1, 8)
+        r1 = b.add_recv(1, 0, 8)
+        s1 = b.add_send(1, 2, 8)
+        r2 = b.add_recv(2, 1, 8)
+        b.add_dependency(r1, s1)
+        b.add_comm_edge(s0, r1)
+        b.add_comm_edge(s1, r2)
+        assert b.freeze().longest_message_chain() == 2
+
+    def test_to_networkx(self):
+        g = small_graph()
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == g.num_vertices
+        assert nxg.number_of_edges() == g.num_edges
+        assert nxg.nodes[1]["kind"] == "SEND"
+        assert nxg.graph["nranks"] == 2
+
+    def test_in_edges_iteration(self):
+        g = small_graph()
+        kinds = {kind for _, _, kind in g.in_edges(4)}
+        assert kinds == {EdgeKind.DEP, EdgeKind.COMM}
+
+    def test_empty_graph_rejected(self):
+        b = GraphBuilder(nranks=1)
+        with pytest.raises(GraphValidationError):
+            b.freeze()

@@ -1,0 +1,172 @@
+"""Tests for topologies, the HLogGP architecture graph and Netgauge fitting."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    CSCS_TESTBED,
+    ArchitectureGraph,
+    Dragonfly,
+    FatTree,
+    WireLatencyModel,
+    block_mapping,
+    fit_loggp,
+    measure,
+    random_mapping,
+    round_robin_mapping,
+)
+from repro.network.params import LogGPSParams
+from repro.units import NS
+
+
+class TestFatTree:
+    def test_paper_configuration_capacity(self):
+        ft = FatTree(k=16)
+        assert ft.num_nodes == 16**3 // 4 == 1024
+        assert ft.nodes_per_pod == 64
+
+    def test_hop_counts(self):
+        ft = FatTree(k=4)  # 16 nodes, 2 per edge switch, 4 per pod
+        assert ft.hops(0, 0) == 0
+        assert ft.hops(0, 1) == 1    # same edge switch
+        assert ft.hops(0, 2) == 3    # same pod
+        assert ft.hops(0, 5) == 5    # different pod
+
+    def test_invalid_radix(self):
+        with pytest.raises(ValueError):
+            FatTree(k=3)
+        with pytest.raises(ValueError):
+            FatTree(k=4, tiers=2)
+
+    def test_node_range_checked(self):
+        with pytest.raises(ValueError):
+            FatTree(k=4).hops(0, 99)
+
+
+class TestDragonfly:
+    def test_paper_configuration_capacity(self):
+        df = Dragonfly(g=8, a=4, p=8)
+        assert df.num_nodes == 256
+        assert df.nodes_per_group == 32
+
+    def test_hop_counts(self):
+        df = Dragonfly(g=2, a=2, p=2)
+        assert df.hops(0, 1) == 1   # same switch
+        assert df.hops(0, 2) == 2   # same group
+        assert df.hops(0, 4) == 3   # other group
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            Dragonfly(g=0, a=4, p=8)
+
+
+class TestWireLatencyModel:
+    def test_latency_formula(self):
+        model = WireLatencyModel(wire_latency=0.274, switch_latency=0.108)
+        assert model.latency(0) == pytest.approx(0.274)
+        assert model.latency(3) == pytest.approx(4 * 0.274 + 3 * 0.108)
+        with pytest.raises(ValueError):
+            model.latency(-1)
+
+    def test_dragonfly_has_lower_average_latency_than_fat_tree(self):
+        """The Fig. 11 observation: fewer average hops under Dragonfly."""
+        model = WireLatencyModel()
+        ft = FatTree(k=16)
+        df = Dragonfly(g=8, a=4, p=8)
+        assert model.average_latency(df, 256) < model.average_latency(ft, 256)
+
+    def test_pair_matrix_symmetric(self):
+        model = WireLatencyModel()
+        matrix = model.pair_latency_matrix(Dragonfly(g=2, a=2, p=2))
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_requesting_too_many_nodes(self):
+        with pytest.raises(ValueError):
+            WireLatencyModel().pair_latency_matrix(Dragonfly(g=2, a=2, p=2), nodes=100)
+
+    def test_with_wire_latency(self):
+        model = WireLatencyModel().with_wire_latency(0.5)
+        assert model.wire_latency == 0.5
+
+
+class TestArchitectureGraph:
+    def make_arch(self):
+        return ArchitectureGraph(num_nodes=4, processes_per_node=2,
+                                 intra_node_latency=0.3, inter_node_latency=3.0)
+
+    def test_capacity_and_latencies(self):
+        arch = self.make_arch()
+        assert arch.capacity == 8
+        assert arch.node_latency(1, 1) == pytest.approx(0.3)
+        assert arch.node_latency(0, 2) == pytest.approx(3.0)
+        assert arch.node_gap(0, 0) < arch.node_gap(0, 1)
+
+    def test_latency_matrix_from_mapping(self):
+        arch = self.make_arch()
+        mapping = [0, 0, 1, 1]
+        matrix = arch.latency_matrix(mapping)
+        assert matrix[0, 1] == pytest.approx(0.3)
+        assert matrix[0, 2] == pytest.approx(3.0)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_overloaded_node_rejected(self):
+        arch = self.make_arch()
+        with pytest.raises(ValueError):
+            arch.latency_matrix([0, 0, 0, 1])
+
+    def test_from_topology(self):
+        arch = ArchitectureGraph.from_topology(Dragonfly(g=2, a=2, p=2), num_nodes=4,
+                                               processes_per_node=1)
+        assert isinstance(arch.inter_node_latency, np.ndarray)
+        assert arch.node_latency(0, 1) > arch.intra_node_latency
+
+    def test_matrix_shape_checked(self):
+        with pytest.raises(ValueError):
+            ArchitectureGraph(num_nodes=4, inter_node_latency=np.zeros((2, 2)))
+
+    def test_mappings(self):
+        arch = self.make_arch()
+        assert block_mapping(8, arch) == [0, 0, 1, 1, 2, 2, 3, 3]
+        assert round_robin_mapping(8, arch) == [0, 1, 2, 3, 0, 1, 2, 3]
+        rnd = random_mapping(8, arch, seed=3)
+        assert sorted(rnd) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_mapping_capacity_checked(self):
+        arch = self.make_arch()
+        with pytest.raises(ValueError):
+            block_mapping(9, arch)
+        with pytest.raises(ValueError):
+            round_robin_mapping(9, arch)
+        with pytest.raises(ValueError):
+            random_mapping(9, arch)
+
+
+class TestNetgauge:
+    def test_fit_recovers_linear_model(self):
+        sizes = [1, 100, 1000, 10000]
+        times = [5.0 + (s - 1) * 0.002 for s in sizes]
+        fitted = fit_loggp(sizes, times)
+        assert fitted.L == pytest.approx(5.0, abs=1e-9)
+        assert fitted.G == pytest.approx(0.002, abs=1e-12)
+
+    def test_fit_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            fit_loggp([8], [1.0])
+
+    def test_measure_recovers_simulator_parameters(self):
+        params = LogGPSParams(L=3.0, o=5.0, G=0.018 * NS, S=256 * 1024)
+        fitted = measure(params, sizes=(1, 1024, 8192, 65536), repetitions=4)
+        assert fitted.L == pytest.approx(params.L, rel=1e-6)
+        assert fitted.G == pytest.approx(params.G, rel=1e-6)
+
+    def test_measure_with_different_latency(self):
+        params = CSCS_TESTBED.with_latency(10.0)
+        fitted = measure(params, sizes=(1, 4096, 32768), repetitions=2)
+        assert fitted.L == pytest.approx(10.0, rel=1e-6)
+
+    def test_pingpong_rejects_bad_size(self):
+        from repro.network.netgauge import pingpong_times
+
+        with pytest.raises(ValueError):
+            pingpong_times(CSCS_TESTBED, [0])

@@ -1,0 +1,176 @@
+"""Tests for the virtual MPI API and rank programs."""
+
+import pytest
+
+from repro.mpi import OpKind, Program, ProgramOp, VirtualComm, run_program
+from repro.mpi.program import RankProgram
+
+
+class TestVirtualComm:
+    def test_rank_and_size(self):
+        captured = {}
+
+        def app(comm: VirtualComm):
+            captured[comm.rank] = comm.size
+
+        run_program(app, 4)
+        assert captured == {0: 4, 1: 4, 2: 4, 3: 4}
+
+    def test_compute_recorded(self):
+        def app(comm):
+            comm.compute(10.0)
+            comm.compute(0.0)  # zero compute is dropped
+
+        program = run_program(app, 1)
+        ops = program.rank(0).ops
+        assert len(ops) == 1
+        assert ops[0].kind is OpKind.COMPUTE and ops[0].cost == 10.0
+
+    def test_negative_compute_rejected(self):
+        def app(comm):
+            comm.compute(-1.0)
+
+        with pytest.raises(ValueError):
+            run_program(app, 1)
+
+    def test_send_recv_recorded(self):
+        def app(comm):
+            if comm.rank == 0:
+                comm.send(1, 128, tag=5)
+            else:
+                comm.recv(0, 128, tag=5)
+
+        program = run_program(app, 2)
+        assert program.rank(0)[0].kind is OpKind.SEND
+        assert program.rank(1)[0].kind is OpKind.RECV
+        assert program.rank(0)[0].size == 128
+
+    def test_peer_out_of_range(self):
+        def app(comm):
+            comm.send(7, 8)
+
+        with pytest.raises(ValueError):
+            run_program(app, 2)
+
+    def test_nonblocking_requires_wait(self):
+        def app(comm):
+            peer = (comm.rank + 1) % comm.size
+            comm.isend(peer, 8)
+
+        with pytest.raises(ValueError, match="never completed"):
+            run_program(app, 2)
+
+    def test_wait_unknown_request(self):
+        from repro.mpi.api import Request
+
+        def app(comm):
+            comm.wait(Request(handle=42, kind=OpKind.IRECV))
+
+        with pytest.raises(ValueError, match="not outstanding"):
+            run_program(app, 1)
+
+    def test_waitall_records_all_handles(self):
+        def app(comm):
+            peer = (comm.rank + 1) % comm.size
+            reqs = [comm.irecv(peer, 8, tag=i) for i in range(3)]
+            reqs += [comm.isend(peer, 8, tag=i) for i in range(3)]
+            comm.waitall(reqs)
+
+        program = run_program(app, 2)
+        waitall = [op for op in program.rank(0) if op.kind is OpKind.WAITALL]
+        assert len(waitall) == 1
+        assert len(waitall[0].requests) == 6
+
+    def test_waitall_empty_is_noop(self):
+        def app(comm):
+            comm.waitall([])
+            comm.compute(1.0)
+
+        program = run_program(app, 1)
+        assert len(program.rank(0)) == 1
+
+    def test_collectives_recorded(self):
+        def app(comm):
+            comm.barrier()
+            comm.bcast(100, root=1)
+            comm.reduce(100, root=0)
+            comm.allreduce(8)
+            comm.allgather(64)
+            comm.alltoall(32)
+            comm.gather(16, root=0)
+            comm.scatter(16, root=0)
+
+        program = run_program(app, 2)
+        kinds = [op.kind for op in program.rank(0)]
+        assert kinds == [
+            OpKind.BARRIER, OpKind.BCAST, OpKind.REDUCE, OpKind.ALLREDUCE,
+            OpKind.ALLGATHER, OpKind.ALLTOALL, OpKind.GATHER, OpKind.SCATTER,
+        ]
+        assert program.rank(0)[1].root == 1
+
+    def test_sendrecv_recorded(self):
+        def app(comm):
+            next_rank = (comm.rank + 1) % comm.size
+            prev_rank = (comm.rank - 1) % comm.size
+            comm.sendrecv(next_rank, 64, prev_rank, 64, send_tag=1, recv_tag=1)
+
+        program = run_program(app, 3)
+        op = program.rank(0)[0]
+        assert op.kind is OpKind.SENDRECV
+        assert op.peer == 1 and op.recv_peer == 2
+
+
+class TestProgram:
+    def test_validate_detects_mismatched_collectives(self):
+        program = Program.empty(2)
+        program.rank(0).append(ProgramOp(kind=OpKind.ALLREDUCE, size=8))
+        program.rank(1).append(ProgramOp(kind=OpKind.BARRIER))
+        with pytest.raises(ValueError, match="collective call sequence"):
+            program.validate()
+
+    def test_validate_detects_missing_collective(self):
+        program = Program.empty(2)
+        program.rank(0).append(ProgramOp(kind=OpKind.ALLREDUCE, size=8))
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_summary(self):
+        def app(comm):
+            comm.compute(5.0)
+            comm.allreduce(8)
+
+        program = run_program(app, 4)
+        summary = program.summary()
+        assert summary["nranks"] == 4
+        assert summary["num_ops"] == 8
+        assert summary["total_compute_us"] == pytest.approx(20.0)
+        assert summary["count[allreduce]"] == 4
+
+    def test_total_compute_per_rank(self):
+        rp = RankProgram(rank=0)
+        rp.append(ProgramOp(kind=OpKind.COMPUTE, cost=2.0))
+        rp.append(ProgramOp(kind=OpKind.COMPUTE, cost=3.0))
+        assert rp.total_compute == pytest.approx(5.0)
+
+    def test_collective_signature(self):
+        def app(comm):
+            comm.barrier()
+            comm.compute(1.0)
+            comm.allreduce(8)
+
+        program = run_program(app, 2)
+        assert program.rank(0).collective_signature() == [OpKind.BARRIER, OpKind.ALLREDUCE]
+
+    def test_programop_validation(self):
+        with pytest.raises(ValueError):
+            ProgramOp(kind=OpKind.SEND, peer=-1, size=8)
+        with pytest.raises(ValueError):
+            ProgramOp(kind=OpKind.COMPUTE, cost=-1.0)
+        with pytest.raises(ValueError):
+            ProgramOp(kind=OpKind.WAIT)
+
+    def test_empty_program_requires_positive_ranks(self):
+        with pytest.raises(ValueError):
+            Program.empty(0)
+        with pytest.raises(ValueError):
+            run_program(lambda comm: None, 0)

@@ -1,0 +1,324 @@
+"""Tests for the schedule generator (program/trace -> execution graph)."""
+
+import math
+
+import pytest
+
+from repro.mpi import run_program, trace_program
+from repro.network.params import LogGPSParams
+from repro.schedgen import (
+    CollectiveAlgorithms,
+    ProtocolConfig,
+    ScheduleGenerator,
+    VertexKind,
+    build_graph,
+)
+from repro.schedgen.builder import UnmatchedMessageError
+from repro.core.graph_analysis import analyze_critical_path
+
+
+PARAMS = LogGPSParams(L=1.0, o=0.5, g=0.0, G=0.001)
+
+
+def pingpong(iterations: int = 3, size: int = 64):
+    def app(comm):
+        for it in range(iterations):
+            comm.compute(10.0)
+            if comm.rank == 0:
+                comm.send(1, size, tag=it)
+                comm.recv(1, size, tag=1000 + it)
+            else:
+                comm.recv(0, size, tag=it)
+                comm.send(0, size, tag=1000 + it)
+
+    return run_program(app, 2)
+
+
+class TestPointToPoint:
+    def test_blocking_pingpong_structure(self):
+        graph = build_graph(pingpong(iterations=1))
+        stats = graph.stats()
+        assert stats["send"] == 2 and stats["recv"] == 2
+        assert stats["comm_edges"] == 2
+        assert stats["calc"] == 2
+
+    def test_runtime_of_single_message(self):
+        def app(comm):
+            if comm.rank == 0:
+                comm.send(1, 1, tag=0)
+            else:
+                comm.recv(0, 1, tag=0)
+
+        graph = build_graph(run_program(app, 2))
+        result = analyze_critical_path(graph, PARAMS)
+        # o (send) + L + o (recv)
+        assert result.runtime == pytest.approx(2 * PARAMS.o + PARAMS.L)
+
+    def test_nonblocking_overlap(self):
+        """Computation posted after an irecv must not wait for the message."""
+
+        def app(comm):
+            if comm.rank == 0:
+                comm.compute(100.0)
+                comm.send(1, 1, tag=0)
+            else:
+                req = comm.irecv(0, 1, tag=0)
+                comm.compute(100.0)
+                comm.wait(req)
+
+        graph = build_graph(run_program(app, 2))
+        result = analyze_critical_path(graph, PARAMS)
+        # both ranks compute 100 in parallel; the message arrives while rank 1
+        # is still computing, so the total is 100 + o (send posted at 100)
+        # ... rank0: 100 + o; message arrives 100 + o + L; rank1 computes until
+        # 100 then waits: finishes at 100 + o + L + o
+        assert result.runtime == pytest.approx(100.0 + 2 * PARAMS.o + PARAMS.L)
+
+    def test_blocking_recv_does_not_overlap(self):
+        def app(comm):
+            if comm.rank == 0:
+                comm.compute(100.0)
+                comm.send(1, 1, tag=0)
+            else:
+                comm.recv(0, 1, tag=0)
+                comm.compute(100.0)
+
+        graph = build_graph(run_program(app, 2))
+        result = analyze_critical_path(graph, PARAMS)
+        assert result.runtime == pytest.approx(100.0 + 2 * PARAMS.o + PARAMS.L + 100.0)
+
+    def test_sendrecv_expansion(self):
+        def app(comm):
+            nxt = (comm.rank + 1) % comm.size
+            prv = (comm.rank - 1) % comm.size
+            comm.sendrecv(nxt, 32, prv, 32)
+
+        graph = build_graph(run_program(app, 4))
+        stats = graph.stats()
+        assert stats["send"] == 4 and stats["recv"] == 4 and stats["comm_edges"] == 4
+
+    def test_unmatched_messages_raise(self):
+        from repro.mpi import Program, ProgramOp, OpKind
+
+        program = Program.empty(2)
+        program.rank(0).append(ProgramOp(kind=OpKind.SEND, peer=1, size=8, tag=0))
+        # rank 1 never receives
+        with pytest.raises(UnmatchedMessageError):
+            build_graph(program)
+
+    def test_message_matching_is_fifo(self):
+        """Two same-tag messages must match in posting order."""
+
+        def app(comm):
+            if comm.rank == 0:
+                comm.send(1, 100, tag=0)
+                comm.send(1, 200, tag=0)
+            else:
+                comm.recv(0, 100, tag=0)
+                comm.recv(0, 200, tag=0)
+
+        graph = build_graph(run_program(app, 2))
+        # sizes of matched pairs must agree, which validate() enforces
+        graph.validate()
+
+
+class TestWaitSemantics:
+    def test_wait_join_vertex(self):
+        def app(comm):
+            if comm.rank == 0:
+                comm.send(1, 1, tag=0)
+            else:
+                req = comm.irecv(0, 1, tag=0)
+                comm.compute(5.0)
+                comm.wait(req)
+
+        graph = build_graph(run_program(app, 2))
+        # rank 1 has: recv vertex, calc(5), wait join (zero-cost calc)
+        rank1 = graph.vertices_of_rank(1)
+        kinds = [VertexKind(int(graph.kind[v])) for v in rank1]
+        assert kinds.count(VertexKind.CALC) == 2
+        assert kinds.count(VertexKind.RECV) == 1
+
+
+class TestCollectiveExpansion:
+    @pytest.mark.parametrize("nranks", [2, 4, 8, 16])
+    def test_recursive_doubling_allreduce_message_count(self, nranks):
+        def app(comm):
+            comm.allreduce(64)
+
+        graph = build_graph(run_program(app, nranks))
+        # power of two: every rank sends log2(P) messages
+        expected = nranks * int(math.log2(nranks))
+        assert graph.num_messages == expected
+
+    @pytest.mark.parametrize("nranks", [3, 5, 6, 7])
+    def test_recursive_doubling_non_power_of_two(self, nranks):
+        def app(comm):
+            comm.allreduce(64)
+
+        graph = build_graph(run_program(app, nranks))
+        pof2 = 1 << (nranks.bit_length() - 1)
+        rem = nranks - pof2
+        expected = pof2 * int(math.log2(pof2)) + 2 * rem
+        assert graph.num_messages == expected
+
+    @pytest.mark.parametrize("nranks", [2, 4, 8])
+    def test_ring_allreduce_message_count(self, nranks):
+        def app(comm):
+            comm.allreduce(1024)
+
+        graph = build_graph(
+            run_program(app, nranks),
+            algorithms=CollectiveAlgorithms(allreduce="ring"),
+        )
+        assert graph.num_messages == 2 * (nranks - 1) * nranks
+
+    def test_ring_allreduce_longer_message_chain(self):
+        def app(comm):
+            comm.allreduce(1024)
+
+        rd = build_graph(run_program(app, 8))
+        ring = build_graph(run_program(app, 8), algorithms=CollectiveAlgorithms(allreduce="ring"))
+        assert ring.longest_message_chain() > rd.longest_message_chain()
+        assert rd.longest_message_chain() == 3  # log2(8)
+
+    @pytest.mark.parametrize("nranks", [2, 4, 7, 8])
+    def test_bcast_binomial_message_count(self, nranks):
+        def app(comm):
+            comm.bcast(256, root=0)
+
+        graph = build_graph(run_program(app, nranks))
+        assert graph.num_messages == nranks - 1
+
+    @pytest.mark.parametrize("nranks", [2, 5, 8])
+    def test_reduce_binomial_message_count(self, nranks):
+        def app(comm):
+            comm.reduce(256, root=0)
+
+        graph = build_graph(run_program(app, nranks))
+        assert graph.num_messages == nranks - 1
+
+    @pytest.mark.parametrize("nranks", [2, 4, 8])
+    def test_barrier_dissemination_message_count(self, nranks):
+        def app(comm):
+            comm.barrier()
+
+        graph = build_graph(run_program(app, nranks))
+        assert graph.num_messages == nranks * math.ceil(math.log2(nranks))
+
+    @pytest.mark.parametrize("nranks", [2, 4, 6])
+    def test_allgather_ring_message_count(self, nranks):
+        def app(comm):
+            comm.allgather(128)
+
+        graph = build_graph(run_program(app, nranks))
+        assert graph.num_messages == nranks * (nranks - 1)
+
+    @pytest.mark.parametrize("nranks", [2, 4, 8])
+    def test_alltoall_pairwise_message_count(self, nranks):
+        def app(comm):
+            comm.alltoall(64)
+
+        graph = build_graph(run_program(app, nranks))
+        assert graph.num_messages == nranks * (nranks - 1)
+
+    def test_gather_and_scatter_linear(self):
+        def app(comm):
+            comm.gather(64, root=2)
+            comm.scatter(64, root=1)
+
+        graph = build_graph(run_program(app, 5))
+        assert graph.num_messages == 2 * 4
+
+    def test_bcast_nonzero_root(self):
+        def app(comm):
+            comm.bcast(64, root=3)
+
+        graph = build_graph(run_program(app, 4))
+        # the root must only send, never receive
+        for v in graph.vertices_of_rank(3):
+            assert graph.kind[v] != VertexKind.RECV
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            CollectiveAlgorithms(allreduce="magic")
+
+    def test_with_allreduce_helper(self):
+        algos = CollectiveAlgorithms().with_allreduce("ring")
+        assert algos.allreduce == "ring"
+        assert algos.bcast == "binomial"
+
+
+class TestRendezvousProtocol:
+    def test_large_message_expanded_into_handshake(self):
+        def app(comm):
+            if comm.rank == 0:
+                comm.send(1, 1_000_000, tag=0)
+            else:
+                comm.recv(0, 1_000_000, tag=0)
+
+        protocol = ProtocolConfig(eager_threshold=256 * 1024)
+        graph = build_graph(run_program(app, 2), protocol=protocol)
+        # RTS + CTS + DATA = 3 messages
+        assert graph.num_messages == 3
+
+    def test_small_message_stays_eager(self):
+        def app(comm):
+            if comm.rank == 0:
+                comm.send(1, 100, tag=0)
+            else:
+                comm.recv(0, 100, tag=0)
+
+        graph = build_graph(run_program(app, 2), protocol=ProtocolConfig(eager_threshold=256))
+        assert graph.num_messages == 1
+
+    def test_rendezvous_expansion_can_be_disabled(self):
+        def app(comm):
+            if comm.rank == 0:
+                comm.send(1, 1_000_000, tag=0)
+            else:
+                comm.recv(0, 1_000_000, tag=0)
+
+        protocol = ProtocolConfig(eager_threshold=1024, expand_rendezvous=False)
+        graph = build_graph(run_program(app, 2), protocol=protocol)
+        assert graph.num_messages == 1
+
+    def test_rendezvous_takes_three_latencies(self):
+        def app(comm):
+            if comm.rank == 0:
+                comm.send(1, 2048, tag=0)
+            else:
+                comm.recv(0, 2048, tag=0)
+
+        params = LogGPSParams(L=10.0, o=0.0, G=0.0, S=1024)
+        eager_graph = build_graph(run_program(app, 2),
+                                  protocol=ProtocolConfig(eager_threshold=10**9))
+        rdv_graph = build_graph(run_program(app, 2), params=params)
+        t_eager = analyze_critical_path(eager_graph, params).runtime
+        t_rdv = analyze_critical_path(rdv_graph, params).runtime
+        assert t_rdv == pytest.approx(t_eager + 2 * params.L)
+
+    def test_protocol_from_params(self):
+        params = LogGPSParams(S=4096)
+        protocol = ProtocolConfig.from_params(params)
+        assert protocol.eager_threshold == 4096
+
+
+class TestTracePipeline:
+    def test_build_from_trace_matches_program(self):
+        program = pingpong(iterations=4)
+        direct = build_graph(program)
+        trace = trace_program(program, PARAMS)
+        from_trace = ScheduleGenerator().build_from_trace(trace)
+        t_direct = analyze_critical_path(direct, PARAMS).runtime
+        t_trace = analyze_critical_path(from_trace, PARAMS).runtime
+        assert t_trace == pytest.approx(t_direct, rel=1e-3)
+
+    def test_collective_sequence_mismatch_detected(self):
+        from repro.mpi import Program, ProgramOp, OpKind
+
+        program = Program.empty(2)
+        program.rank(0).append(ProgramOp(kind=OpKind.ALLREDUCE, size=8))
+        program.rank(1).append(ProgramOp(kind=OpKind.BARRIER))
+        with pytest.raises(ValueError):
+            build_graph(program)

@@ -1,0 +1,224 @@
+"""Tests for the LogGOPS discrete-event simulator and the latency injectors."""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_critical_path
+from repro.mpi import run_program
+from repro.network.params import LogGPSParams
+from repro.schedgen import build_graph
+from repro.simulator import (
+    INJECTOR_NAMES,
+    DelayThreadInjector,
+    GaussianNoise,
+    IdealInjector,
+    LogGOPSSimulator,
+    NoNoise,
+    OSJitterNoise,
+    ReceiverProgressInjector,
+    SenderDelayInjector,
+    make_injector,
+    simulate,
+    two_message_model,
+)
+
+PARAMS = LogGPSParams(L=2.0, o=1.0, g=0.0, G=0.001)
+
+
+def pingpong_graph(iterations=2, size=100):
+    def app(comm):
+        for it in range(iterations):
+            if comm.rank == 0:
+                comm.send(1, size, tag=it)
+                comm.recv(1, size, tag=1000 + it)
+            else:
+                comm.recv(0, size, tag=it)
+                comm.send(0, size, tag=1000 + it)
+
+    return build_graph(run_program(app, 2))
+
+
+def two_send_graph():
+    """The Fig. 8 micro-benchmark: two eager sends, receives pre-posted."""
+
+    def app(comm):
+        if comm.rank == 0:
+            comm.send(1, 1, tag=0)
+            comm.send(1, 1, tag=1)
+        else:
+            r0 = comm.irecv(0, 1, tag=0)
+            r1 = comm.irecv(0, 1, tag=1)
+            comm.waitall([r0, r1])
+
+    return build_graph(run_program(app, 2))
+
+
+class TestSimulator:
+    def test_pingpong_makespan(self):
+        graph = pingpong_graph(iterations=1, size=1)
+        result = simulate(graph, PARAMS)
+        # two messages in sequence: 2 * (2o + L)
+        assert result.makespan == pytest.approx(2 * (2 * PARAMS.o + PARAMS.L))
+
+    def test_matches_graph_analysis_without_gap(self):
+        graph = pingpong_graph(iterations=3, size=500)
+        sim = simulate(graph, PARAMS)
+        cp = analyze_critical_path(graph, PARAMS)
+        assert sim.makespan == pytest.approx(cp.runtime)
+
+    def test_delta_latency_shifts_runtime(self):
+        graph = pingpong_graph(iterations=2, size=1)
+        base = simulate(graph, PARAMS).makespan
+        shifted = simulate(graph, PARAMS, delta_L=5.0).makespan
+        # 4 sequential messages, each delayed by 5 µs
+        assert shifted == pytest.approx(base + 4 * 5.0)
+
+    def test_gap_enforced_between_sends(self):
+        params = LogGPSParams(L=0.0, o=0.1, g=5.0, G=0.0)
+
+        def app(comm):
+            if comm.rank == 0:
+                for i in range(3):
+                    comm.send(1, 1, tag=i)
+            else:
+                for i in range(3):
+                    comm.recv(0, 1, tag=i)
+
+        graph = build_graph(run_program(app, 2))
+        result = simulate(graph, params)
+        # the third send cannot start before 2 * g
+        assert result.makespan >= 2 * params.g
+
+    def test_rank_finish_times(self):
+        graph = pingpong_graph(iterations=1)
+        result = simulate(graph, PARAMS)
+        assert len(result.rank_finish) == 2
+        assert result.makespan == pytest.approx(result.rank_finish.max())
+
+    def test_injector_and_delta_are_exclusive(self):
+        graph = pingpong_graph()
+        with pytest.raises(ValueError):
+            simulate(graph, PARAMS, delta_L=1.0, injector=IdealInjector(2.0))
+
+    def test_critical_path_extraction(self):
+        graph = pingpong_graph(iterations=2)
+        result = simulate(graph, PARAMS)
+        path = result.critical_path(graph)
+        assert len(path) >= 2
+        # the path ends at the vertex that finishes last
+        assert result.end[path[-1]] == pytest.approx(result.makespan)
+
+    def test_noise_increases_runtime(self):
+        def app(comm):
+            comm.compute(1000.0)
+            comm.allreduce(8)
+
+        graph = build_graph(run_program(app, 4))
+        quiet = simulate(graph, PARAMS).makespan
+        noisy = LogGOPSSimulator(
+            graph, PARAMS, noise=OSJitterNoise(probability=1.0, spike=50.0, seed=1)
+        ).run().makespan
+        assert noisy > quiet
+
+    def test_gaussian_noise_reproducible(self):
+        def app(comm):
+            comm.compute(1000.0)
+
+        graph = build_graph(run_program(app, 1))
+        noise = GaussianNoise(sigma=0.1, seed=7)
+        a = LogGOPSSimulator(graph, PARAMS, noise=noise).run().makespan
+        b = LogGOPSSimulator(graph, PARAMS, noise=GaussianNoise(sigma=0.1, seed=7)).run().makespan
+        assert a == pytest.approx(b)
+
+
+class TestInjectors:
+    def test_make_injector_names(self):
+        for name in INJECTOR_NAMES:
+            injector = make_injector(name, 3.0)
+            assert injector.delta == 3.0
+        with pytest.raises(ValueError):
+            make_injector("nope", 1.0)
+
+    def test_ideal_equals_delay_thread_in_simulation(self):
+        graph = two_send_graph()
+        ideal = simulate(graph, PARAMS, injector=IdealInjector(20.0)).makespan
+        delay_thread = simulate(graph, PARAMS, injector=DelayThreadInjector(20.0)).makespan
+        assert ideal == pytest.approx(delay_thread)
+
+    def test_sender_delay_overestimates(self):
+        graph = two_send_graph()
+        ideal = simulate(graph, PARAMS, injector=IdealInjector(20.0)).makespan
+        sender = simulate(graph, PARAMS, injector=SenderDelayInjector(20.0)).makespan
+        assert sender > ideal
+
+    def test_receiver_progress_overestimates_when_delta_large(self):
+        graph = two_send_graph()
+        ideal = simulate(graph, PARAMS, injector=IdealInjector(50.0)).makespan
+        progress = simulate(graph, PARAMS, injector=ReceiverProgressInjector(50.0)).makespan
+        assert progress > ideal
+
+    def test_zero_delta_all_equal(self):
+        graph = two_send_graph()
+        results = {
+            name: simulate(graph, PARAMS, injector=make_injector(name, 0.0)).makespan
+            for name in INJECTOR_NAMES
+        }
+        values = list(results.values())
+        assert all(v == pytest.approx(values[0]) for v in values)
+
+
+class TestTwoMessageModel:
+    """Closed-form Fig. 8 outcomes."""
+
+    def test_ideal(self):
+        out = two_message_model(PARAMS, delta=10.0, strategy="ideal")
+        assert out.sender_finish == pytest.approx(2 * PARAMS.o)
+        assert out.receiver_finish == pytest.approx(3 * PARAMS.o + PARAMS.L + 10.0)
+
+    def test_delay_thread_matches_ideal(self):
+        ideal = two_message_model(PARAMS, delta=10.0, strategy="ideal")
+        ours = two_message_model(PARAMS, delta=10.0, strategy="delay_thread")
+        assert ours == ideal
+
+    def test_sender_delay_penalty(self):
+        out = two_message_model(PARAMS, delta=10.0, strategy="sender_delay")
+        assert out.sender_finish == pytest.approx(2 * PARAMS.o + 2 * 10.0)
+        assert out.receiver_finish == pytest.approx(3 * PARAMS.o + PARAMS.L + 2 * 10.0)
+
+    def test_receiver_progress_penalty_when_delta_exceeds_o(self):
+        delta = 10.0  # > o = 1.0
+        out = two_message_model(PARAMS, delta=delta, strategy="receiver_progress")
+        assert out.receiver_finish == pytest.approx(2 * PARAMS.o + PARAMS.L + 2 * delta)
+
+    def test_receiver_progress_ok_when_delta_small(self):
+        delta = 0.5  # < o
+        out = two_message_model(PARAMS, delta=delta, strategy="receiver_progress")
+        ideal = two_message_model(PARAMS, delta=delta, strategy="ideal")
+        assert out.receiver_finish == pytest.approx(ideal.receiver_finish)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            two_message_model(PARAMS, 1.0, "bogus")
+
+
+class TestNoiseModels:
+    def test_no_noise_identity(self):
+        assert NoNoise().perturb(5.0) == 5.0
+
+    def test_gaussian_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(sigma=-0.1)
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            OSJitterNoise(probability=1.5)
+        with pytest.raises(ValueError):
+            OSJitterNoise(spike=-1.0)
+
+    def test_jitter_adds_spike(self):
+        noise = OSJitterNoise(probability=1.0, spike=7.0, seed=0)
+        assert noise.perturb(3.0) == pytest.approx(10.0)
+
+    def test_zero_duration_untouched(self):
+        assert GaussianNoise(sigma=0.5).perturb(0.0) == 0.0
+        assert OSJitterNoise(probability=1.0).perturb(0.0) == 0.0

@@ -1,0 +1,180 @@
+"""Tests for trace records and the liballprof-like text format."""
+
+import io
+
+import pytest
+
+from repro.trace import (
+    MPIOp,
+    RankTrace,
+    Trace,
+    TraceFormatError,
+    TraceRecord,
+    dump_trace,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+)
+
+
+def make_simple_trace() -> Trace:
+    trace = Trace.empty(2, app="unit-test")
+    trace.add_record(0, TraceRecord(op=MPIOp.INIT, tstart=0.0, tend=1.0))
+    trace.add_record(0, TraceRecord(op=MPIOp.ISEND, tstart=2.0, tend=2.5, peer=1,
+                                    size=64, tag=7, request=0))
+    trace.add_record(0, TraceRecord(op=MPIOp.WAIT, tstart=2.5, tend=3.0, request=0))
+    trace.add_record(0, TraceRecord(op=MPIOp.ALLREDUCE, tstart=3.0, tend=9.0, size=8,
+                                    comm_size=2))
+    trace.add_record(0, TraceRecord(op=MPIOp.FINALIZE, tstart=9.0, tend=9.5))
+    trace.add_record(1, TraceRecord(op=MPIOp.INIT, tstart=0.0, tend=1.0))
+    trace.add_record(1, TraceRecord(op=MPIOp.RECV, tstart=1.0, tend=4.0, peer=0,
+                                    size=64, tag=7))
+    trace.add_record(1, TraceRecord(op=MPIOp.ALLREDUCE, tstart=4.0, tend=9.0, size=8,
+                                    comm_size=2))
+    trace.add_record(1, TraceRecord(op=MPIOp.FINALIZE, tstart=9.0, tend=9.5))
+    return trace
+
+
+class TestTraceRecord:
+    def test_duration(self):
+        rec = TraceRecord(op=MPIOp.SEND, tstart=1.0, tend=3.5, peer=0)
+        assert rec.duration == pytest.approx(2.5)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(op=MPIOp.SEND, tstart=2.0, tend=1.0, peer=0)
+
+    def test_p2p_requires_peer(self):
+        with pytest.raises(ValueError):
+            TraceRecord(op=MPIOp.RECV, tstart=0.0, tend=1.0)
+
+    def test_collective_requires_comm_size(self):
+        with pytest.raises(ValueError):
+            TraceRecord(op=MPIOp.ALLREDUCE, tstart=0.0, tend=1.0, size=8)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(op=MPIOp.SEND, tstart=0.0, tend=1.0, peer=1, size=-4)
+
+    def test_classification_flags(self):
+        send = TraceRecord(op=MPIOp.ISEND, tstart=0, tend=1, peer=1, request=0)
+        coll = TraceRecord(op=MPIOp.BARRIER, tstart=0, tend=1, comm_size=4)
+        info = TraceRecord(op=MPIOp.COMM_RANK, tstart=0, tend=0)
+        assert send.is_p2p and send.is_nonblocking and not send.is_collective
+        assert coll.is_collective and not coll.is_p2p
+        assert info.is_noop
+
+
+class TestRankTrace:
+    def test_append_enforces_monotonic_time(self):
+        rt = RankTrace(rank=0)
+        rt.append(TraceRecord(op=MPIOp.INIT, tstart=0.0, tend=2.0))
+        with pytest.raises(ValueError):
+            rt.append(TraceRecord(op=MPIOp.BARRIER, tstart=1.0, tend=3.0, comm_size=2))
+
+    def test_duration_and_len(self):
+        rt = RankTrace(rank=0)
+        assert rt.duration == 0.0
+        rt.append(TraceRecord(op=MPIOp.INIT, tstart=1.0, tend=2.0))
+        rt.append(TraceRecord(op=MPIOp.FINALIZE, tstart=5.0, tend=6.0))
+        assert len(rt) == 2
+        assert rt.duration == pytest.approx(5.0)
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            RankTrace(rank=-1)
+
+
+class TestTraceValidation:
+    def test_valid_trace_passes(self):
+        make_simple_trace().validate()
+
+    def test_peer_out_of_range(self):
+        trace = Trace.empty(2)
+        trace.add_record(0, TraceRecord(op=MPIOp.SEND, tstart=0, tend=1, peer=5))
+        with pytest.raises(ValueError, match="out of range"):
+            trace.validate()
+
+    def test_wait_on_unknown_request(self):
+        trace = Trace.empty(1)
+        trace.add_record(0, TraceRecord(op=MPIOp.WAIT, tstart=0, tend=1, request=3))
+        with pytest.raises(ValueError, match="unknown request"):
+            trace.validate()
+
+    def test_dangling_request(self):
+        trace = Trace.empty(1)
+        trace.add_record(0, TraceRecord(op=MPIOp.IRECV, tstart=0, tend=1, peer=0, request=1))
+        with pytest.raises(ValueError, match="never completed"):
+            trace.validate()
+
+    def test_summary_counts(self):
+        summary = make_simple_trace().summary()
+        assert summary["nranks"] == 2
+        assert summary["num_records"] == 9
+        assert summary["count[MPI_Allreduce]"] == 2
+        assert summary["bytes_sent"] == 64
+
+    def test_rank_accessor_bounds(self):
+        trace = make_simple_trace()
+        with pytest.raises(IndexError):
+            trace.rank(2)
+
+
+class TestTraceFormat:
+    def test_round_trip_string(self):
+        trace = make_simple_trace()
+        text = dumps_trace(trace)
+        parsed = loads_trace(text)
+        assert parsed.nranks == trace.nranks
+        assert parsed.num_records == trace.num_records
+        assert parsed.meta == trace.meta
+        for original, restored in zip(trace.ranks, parsed.ranks):
+            for a, b in zip(original, restored):
+                assert a.op is b.op
+                assert a.tstart == pytest.approx(b.tstart, abs=1e-5)
+                assert a.peer == b.peer and a.size == b.size and a.tag == b.tag
+
+    def test_round_trip_file(self, tmp_path):
+        trace = make_simple_trace()
+        path = tmp_path / "trace.txt"
+        dump_trace(trace, path)
+        parsed = load_trace(path)
+        assert parsed.num_records == trace.num_records
+
+    def test_round_trip_stream(self):
+        trace = make_simple_trace()
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        buffer.seek(0)
+        parsed = load_trace(buffer)
+        assert parsed.num_records == trace.num_records
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(TraceFormatError, match="header"):
+            loads_trace("@rank 0\nMPI_Init:0:1\n")
+
+    def test_unknown_operation_rejected(self):
+        text = "# llamp-trace v1\n@rank 0\nMPI_Bogus:0:1\n"
+        with pytest.raises(TraceFormatError, match="unknown MPI operation"):
+            loads_trace(text)
+
+    def test_unknown_field_rejected(self):
+        text = "# llamp-trace v1\n@rank 0\nMPI_Send:0:1:peer=0:bogus=1\n"
+        with pytest.raises(TraceFormatError, match="unknown field"):
+            loads_trace(text)
+
+    def test_record_before_rank_header_rejected(self):
+        text = "# llamp-trace v1\nMPI_Init:0:1\n"
+        with pytest.raises(TraceFormatError, match="before any"):
+            loads_trace(text)
+
+    def test_bad_timestamps_rejected(self):
+        text = "# llamp-trace v1\n@rank 0\nMPI_Init:zero:1\n"
+        with pytest.raises(TraceFormatError, match="bad timestamps"):
+            loads_trace(text)
+
+    def test_meta_lines_round_trip(self):
+        trace = Trace.empty(1, experiment="fig9", scale="8")
+        trace.add_record(0, TraceRecord(op=MPIOp.INIT, tstart=0, tend=1))
+        parsed = loads_trace(dumps_trace(trace))
+        assert parsed.meta == {"experiment": "fig9", "scale": "8"}

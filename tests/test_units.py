@@ -1,0 +1,38 @@
+"""Tests for unit conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_constants_are_consistent():
+    assert units.US == 1.0
+    assert units.NS == pytest.approx(1e-3)
+    assert units.MS == pytest.approx(1e3)
+    assert units.SEC == pytest.approx(1e6)
+    assert units.MIB == 1024 * units.KIB
+    assert units.GIB == 1024 * units.MIB
+
+
+def test_us_seconds_round_trip():
+    assert units.us_to_seconds(2_500_000.0) == pytest.approx(2.5)
+    assert units.seconds_to_us(2.5) == pytest.approx(2_500_000.0)
+    assert units.seconds_to_us(units.us_to_seconds(123.456)) == pytest.approx(123.456)
+
+
+def test_bandwidth_to_gap_56gbit():
+    gap = units.bandwidth_to_gap(56.0)
+    # 56 Gbit/s = 7 GB/s -> 1/7e9 s per byte ~ 0.000143 ns/B
+    assert gap == pytest.approx(0.143 * units.NS, rel=1e-3)
+
+
+def test_gap_to_bandwidth_round_trip():
+    for bw in (1.0, 10.0, 56.0, 100.0, 400.0):
+        assert units.gap_to_bandwidth(units.bandwidth_to_gap(bw)) == pytest.approx(bw)
+
+
+def test_bandwidth_to_gap_rejects_non_positive():
+    with pytest.raises(ValueError):
+        units.bandwidth_to_gap(0.0)
+    with pytest.raises(ValueError):
+        units.gap_to_bandwidth(-1.0)
