@@ -1,0 +1,30 @@
+"""Shared printing helpers for the benchmark harnesses.
+
+Kept out of ``conftest.py`` on purpose: ``conftest`` is not a safe import
+target (both ``tests/`` and ``benchmarks/`` have one, and whichever pytest
+loads first wins the ``conftest`` module name).  Benchmark modules import
+from ``_bench_utils`` instead, which is unique on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def print_rows(headers: list[str], rows: list[list]) -> None:
+    widths = [max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
+              for i, h in enumerate(headers)]
+    print("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(_fmt(v).rjust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

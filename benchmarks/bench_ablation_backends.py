@@ -22,7 +22,7 @@ from repro import CSCS_TESTBED
 from repro.apps import lulesh
 from repro.core import analyze_critical_path, build_lp, parametric_analysis
 
-from conftest import print_header, print_rows
+from _bench_utils import print_header, print_rows
 
 DELTAS = [0.0, 20.0, 60.0]
 

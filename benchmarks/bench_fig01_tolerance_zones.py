@@ -16,7 +16,7 @@ from repro import CSCS_TESTBED
 from repro.analysis import run_validation_sweep
 from repro.apps import icon, lulesh, milc
 
-from conftest import print_header, print_rows
+from _bench_utils import print_header, print_rows
 
 NRANKS = 8
 CONFIGS = {

@@ -18,7 +18,7 @@ from repro.core import build_lp, find_critical_latencies, parametric_analysis
 from repro.network.params import LogGPSParams
 from repro.schedgen.graph import GraphBuilder
 
-from conftest import print_header, print_rows
+from _bench_utils import print_header, print_rows
 
 PARAMS = LogGPSParams(L=0.0, o=0.0, g=0.0, G=0.005, S=256 * 1024, P=2)
 

@@ -17,7 +17,7 @@ from repro.mpi import run_program
 from repro.schedgen import build_graph
 from repro.simulator import INJECTOR_NAMES, make_injector, simulate, two_message_model
 
-from conftest import print_header, print_rows
+from _bench_utils import print_header, print_rows
 
 DELTAS = [0.0, 5.0, 20.0, 50.0]
 

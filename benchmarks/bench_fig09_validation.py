@@ -15,7 +15,7 @@ from repro import CSCS_TESTBED
 from repro.analysis import run_validation_sweep
 from repro.apps import hpcg, icon, lulesh, milc
 
-from conftest import print_header, print_rows
+from _bench_utils import print_header, print_rows
 
 SCALES = (8, 16)
 CONFIGS = {

@@ -14,7 +14,7 @@ from repro import CSCS_TESTBED, LatencyAnalyzer
 from repro.apps import icon
 from repro.schedgen import CollectiveAlgorithms
 
-from conftest import print_header, print_rows
+from _bench_utils import print_header, print_rows
 
 SCALES = (8, 16)
 STEPS = 8

@@ -17,7 +17,7 @@ from repro.apps import icon
 from repro.network import Dragonfly, FatTree, WireLatencyModel
 from repro.network.topology import DEFAULT_SWITCH_LATENCY, DEFAULT_WIRE_LATENCY
 
-from conftest import print_header, print_rows
+from _bench_utils import print_header, print_rows
 
 NRANKS = 16
 STEPS = 8

@@ -17,7 +17,7 @@ from repro import CSCS_TESTBED, LatencyAnalyzer
 from repro.apps import namd
 from repro.simulator import simulate
 
-from conftest import print_header, print_rows
+from _bench_utils import print_header, print_rows
 
 NRANKS = 8
 STEPS = 20

@@ -17,7 +17,7 @@ from repro.apps import lulesh
 from repro.core import build_lp, find_critical_latencies, parametric_analysis
 from repro.core.critical_latency import critical_latency_curve
 
-from conftest import print_header, print_rows
+from _bench_utils import print_header, print_rows
 
 NRANKS = 8
 ITERATIONS = 4

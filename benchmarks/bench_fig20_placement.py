@@ -16,7 +16,7 @@ from repro.apps import icon
 from repro.network import ArchitectureGraph, block_mapping
 from repro.placement import llamp_placement, predicted_runtime, volume_greedy_placement
 
-from conftest import print_header, print_rows
+from _bench_utils import print_header, print_rows
 
 NRANKS = 8
 NODES = 4

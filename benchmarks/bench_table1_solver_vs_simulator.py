@@ -24,7 +24,7 @@ from repro.apps import lammps, lulesh, npb
 from repro.core.lp_builder import build_lp
 from repro.simulator import simulate
 
-from conftest import print_header, print_rows
+from _bench_utils import print_header, print_rows
 
 NRANKS = 8
 SWEEP = [3.0 + i for i in range(0, 11, 2)]  # 3..13 µs, 2 µs steps (scaled down)

@@ -14,7 +14,7 @@ from repro import CSCS_TESTBED
 from repro.analysis import run_validation_sweep
 from repro.apps import VALIDATION_APPS
 
-from conftest import print_header, print_rows
+from _bench_utils import print_header, print_rows
 
 NRANKS = 8
 KNOBS = {

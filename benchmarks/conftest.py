@@ -1,4 +1,4 @@
-"""Shared helpers for the benchmark harnesses.
+"""Shared fixtures for the benchmark harnesses.
 
 Every file under ``benchmarks/`` regenerates one table or figure of the
 paper: it prints the corresponding rows/series (measured on this machine and
@@ -10,32 +10,15 @@ wins, orderings, crossovers).  Run them with::
 Scales are reduced with respect to the paper (8–27 ranks, tens of
 iterations) so the whole suite completes in a few minutes; every benchmark
 exposes its scale knobs at the top of its file.
+
+Printing helpers live in :mod:`_bench_utils` (not here): ``conftest`` is not
+an importable module name — when pytest collects both ``tests/`` and
+``benchmarks/``, whichever conftest loads first shadows the other.
 """
 
 from __future__ import annotations
 
 import pytest
-
-
-def print_header(title: str) -> None:
-    print()
-    print("=" * 78)
-    print(title)
-    print("=" * 78)
-
-
-def print_rows(headers: list[str], rows: list[list]) -> None:
-    widths = [max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
-              for i, h in enumerate(headers)]
-    print("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
-    for row in rows:
-        print("  ".join(_fmt(v).rjust(w) for v, w in zip(row, widths)))
-
-
-def _fmt(value) -> str:
-    if isinstance(value, float):
-        return f"{value:.3f}"
-    return str(value)
 
 
 @pytest.fixture

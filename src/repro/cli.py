@@ -7,6 +7,9 @@ Small front end over the library for the most common workflows:
     ``λ_L``, ``ρ_L`` and the 1/2/5 % latency tolerances;
 ``llamp sweep``
     measured-vs-predicted ΔL sweep (simulator vs LP) with RRMSE;
+``llamp curve``
+    exact ``T(L)`` / ``λ_L(L)`` curve and critical latencies via the batched
+    sweep engine (O(#breakpoints) LP solves, one assembled matrix);
 ``llamp trace``
     write the liballprof-style trace of an application skeleton;
 ``llamp goal``
@@ -76,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-delta", type=float, default=100.0, help="largest ΔL in µs")
     sweep.add_argument("--points", type=int, default=6, help="number of sweep points")
 
+    curve = sub.add_parser("curve", help="exact T(L)/λ_L(L) curve via the batched sweep engine")
+    add_app_args(curve)
+    curve.add_argument("--l-max", type=float, default=1000.0, help="largest latency L in µs")
+    curve.add_argument("--points", type=int, default=11, help="number of printed curve points")
+    curve.add_argument("--backend", default="auto",
+                       help="LP backend name from the registry (default: %(default)s)")
+    curve.add_argument("--json", action="store_true", help="print machine-readable JSON")
+
     trace = sub.add_parser("trace", help="write a liballprof-style trace")
     add_app_args(trace)
     trace.add_argument("--output", required=True, help="output trace file")
@@ -122,6 +133,49 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_curve(args: argparse.Namespace) -> int:
+    from .lp.backends import default_registry
+
+    try:
+        default_registry.get(args.backend)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    params = _params_from_args(args)
+    if args.l_max <= params.L:
+        raise SystemExit(
+            f"--l-max ({args.l_max} µs) must exceed the base latency ({params.L} µs)"
+        )
+    graph = _app_graph(args, params)
+    analyzer = LatencyAnalyzer(graph, params, backend=args.backend)
+    sweep = analyzer.batched_sweep(l_max=args.l_max)
+    Ls = np.linspace(params.L, args.l_max, args.points)
+    values = sweep.values(Ls)
+    slopes = sweep.sensitivities(Ls)
+    breakpoints = sweep.breakpoints()
+    if args.json:
+        print(json.dumps({
+            "L_us": Ls.tolist(),
+            "runtime_us": values.tolist(),
+            "lambda_L": slopes.tolist(),
+            "critical_latencies_us": breakpoints,
+            "lp_solves": sweep.num_solves,
+        }, indent=2))
+        return 0
+    print(f"application        : {args.app} ({args.nranks} ranks, {graph.num_events} events)")
+    print(f"LP solves          : {sweep.num_solves} for {args.points} curve points "
+          f"({len(breakpoints)} critical latencies)")
+    print(f"{'L [µs]':>12s} {'T [s]':>12s} {'λ_L':>10s}")
+    for L, T, lam in zip(Ls, values, slopes):
+        print(f"{L:12.2f} {T / 1e6:12.4f} {lam:10.1f}")
+    if breakpoints:
+        shown = ", ".join(f"{bp:.3f}" for bp in breakpoints[:10])
+        more = "" if len(breakpoints) <= 10 else f" (+{len(breakpoints) - 10} more)"
+        print(f"critical latencies : {shown}{more}")
+    else:
+        print("critical latencies : none in the swept interval")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     params = _params_from_args(args)
     module = ALL_APPS[args.app]
@@ -143,6 +197,7 @@ def _cmd_goal(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "sweep": _cmd_sweep,
+    "curve": _cmd_curve,
     "trace": _cmd_trace,
     "goal": _cmd_goal,
 }

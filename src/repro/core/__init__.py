@@ -5,9 +5,12 @@ from .critical_latency import Tangent, critical_latency_curve, find_critical_lat
 from .graph_analysis import CriticalPathResult, analyze_critical_path, forward_pass
 from .lp_builder import GraphLP, build_lp
 from .parametric import (
+    BatchedSweep,
+    EnvelopeOverflowError,
     Line,
     ParametricAnalysis,
     PiecewiseLinear,
+    batched_sweep_graphs,
     parametric_analysis,
 )
 
@@ -24,6 +27,9 @@ __all__ = [
     "PiecewiseLinear",
     "Line",
     "parametric_analysis",
+    "BatchedSweep",
+    "batched_sweep_graphs",
+    "EnvelopeOverflowError",
     "find_critical_latencies",
     "critical_latency_curve",
     "Tangent",

@@ -36,7 +36,7 @@ from ..schedgen.graph import ExecutionGraph
 from .critical_latency import find_critical_latencies
 from .graph_analysis import CriticalPathResult, analyze_critical_path
 from .lp_builder import GraphLP, build_lp
-from .parametric import ParametricAnalysis, parametric_analysis
+from .parametric import BatchedSweep, ParametricAnalysis, parametric_analysis
 
 __all__ = ["SensitivityCurve", "ToleranceReport", "LatencyAnalyzer"]
 
@@ -126,6 +126,19 @@ class LatencyAnalyzer:
         """The exact piecewise-linear ``T(L)`` curve on ``[l_min, l_max]``."""
         return parametric_analysis(self.graph, self.params, l_min=l_min, l_max=l_max)
 
+    def batched_sweep(
+        self, l_min: float | None = None, l_max: float = 10_000.0, **kwargs
+    ) -> BatchedSweep:
+        """A :class:`BatchedSweep` over the cached LP (assembled once).
+
+        ``l_min`` defaults to the baseline latency.  The sweep reconstructs
+        the exact ``T(L)`` curve from ``O(#breakpoints)`` LP solves instead
+        of one cold solve per sweep point.
+        """
+        lo = self.params.L if l_min is None else l_min
+        kwargs.setdefault("backend", self.backend)
+        return BatchedSweep(self.lp, l_min=lo, l_max=l_max, **kwargs)
+
     # -- core metrics -------------------------------------------------------------
 
     def predict_runtime(self, delta_L: float = 0.0) -> float:
@@ -195,20 +208,38 @@ class LatencyAnalyzer:
 
     # -- curves and sweeps ------------------------------------------------------------
 
-    def sensitivity_curve(self, delta_Ls: Iterable[float]) -> SensitivityCurve:
-        """Sample runtime, ``λ_L`` and ``ρ_L`` over a ΔL sweep (Fig. 9 lower panels)."""
+    def sensitivity_curve(
+        self, delta_Ls: Iterable[float], *, engine: str = "lp"
+    ) -> SensitivityCurve:
+        """Sample runtime, ``λ_L`` and ``ρ_L`` over a ΔL sweep (Fig. 9 lower panels).
+
+        ``engine="lp"`` cold-solves one LP per point (the paper's method);
+        ``engine="batched"`` reconstructs the exact ``T(L)`` envelope with
+        ``O(#breakpoints)`` solves and evaluates every point from it — same
+        values, far fewer solver calls on dense sweeps.
+        """
         deltas = np.asarray(sorted(set(float(d) for d in delta_Ls)), dtype=np.float64)
         if np.any(deltas < 0):
             raise ValueError("delta_L values must be non-negative")
+        if engine not in ("lp", "batched"):
+            raise ValueError(f"unknown sweep engine {engine!r}; expected 'lp' or 'batched'")
+        Ls = self.params.L + deltas
         runtimes = np.zeros_like(deltas)
         lambdas = np.zeros_like(deltas)
-        rhos = np.zeros_like(deltas)
-        for i, delta in enumerate(deltas):
-            L = self.params.L + float(delta)
-            solution = self.lp.solve_runtime(L=L, backend=self.backend)
-            runtimes[i] = solution.objective
-            lambdas[i] = self.lp.latency_sensitivity(solution)
-            rhos[i] = 0.0 if runtimes[i] <= 0 else L * lambdas[i] / runtimes[i]
+        if engine == "batched" and deltas.size:
+            span = float(Ls.max()) - float(Ls.min())
+            sweep = self.batched_sweep(
+                l_min=float(Ls.min()), l_max=float(Ls.max()) + max(span, 1.0) * 1e-9
+            )
+            runtimes = sweep.values(Ls)
+            lambdas = sweep.sensitivities(Ls)
+        else:
+            for i, L in enumerate(Ls):
+                solution = self.lp.solve_runtime(L=float(L), backend=self.backend)
+                runtimes[i] = solution.objective
+                lambdas[i] = self.lp.latency_sensitivity(solution)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rhos = np.where(runtimes > 0, Ls * lambdas / runtimes, 0.0)
         return SensitivityCurve(
             delta_L=deltas, runtime=runtimes, latency_sensitivity=lambdas, l_ratio=rhos
         )

@@ -125,15 +125,20 @@ class GraphLP:
 
     # -- solving convenience ----------------------------------------------------
 
-    def solve_runtime(self, L: float | None = None, backend: str = "highs") -> LPSolution:
-        """Minimise the makespan, optionally after setting ``l >= L``."""
+    def solve_runtime(
+        self, L: float | None = None, backend: str = "highs", **options: object
+    ) -> LPSolution:
+        """Minimise the makespan, optionally after setting ``l >= L``.
+
+        ``options`` are forwarded to the backend (e.g. ``warm_start=``).
+        """
         if L is not None:
             self.set_latency_bound(L)
         self._set_min_objective()
-        return self.model.solve(backend=backend)
+        return self.model.solve(backend=backend, **options)
 
     def solve_max_latency(
-        self, runtime_bound: float, backend: str = "highs"
+        self, runtime_bound: float, backend: str = "highs", **options: object
     ) -> LPSolution:
         """Maximise ``l`` subject to ``t <= runtime_bound`` (Section II-D2).
 
@@ -147,15 +152,25 @@ class GraphLP:
         )
         self.model.set_objective(self.latency, Sense.MAX)
         try:
-            solution = self.model.solve(backend=backend)
+            solution = self.model.solve(backend=backend, **options)
         finally:
-            self.model.constraints.pop()
+            self.model.pop_constraint()
             self._renumber_constraints()
             self._set_min_objective()
         return solution
 
     def _set_min_objective(self) -> None:
-        self.model.set_objective(self.t, Sense.MIN)
+        # no-op when already minimising t: set_objective bumps the model's
+        # objective revision, which would force the assembler to rebuild the
+        # objective vector on every solve of a sweep
+        model = self.model
+        if (
+            model.sense is Sense.MIN
+            and model.objective.constant == 0.0
+            and model.objective.coeffs == {self.t.index: 1.0}
+        ):
+            return
+        model.set_objective(self.t, Sense.MIN)
 
     def _renumber_constraints(self) -> None:
         for index, constraint in enumerate(self.model.constraints):

@@ -37,7 +37,15 @@ import numpy as np
 from ..network.params import LogGPSParams
 from ..schedgen.graph import EdgeKind, ExecutionGraph, VertexKind
 
-__all__ = ["Line", "PiecewiseLinear", "ParametricAnalysis", "parametric_analysis"]
+__all__ = [
+    "Line",
+    "PiecewiseLinear",
+    "ParametricAnalysis",
+    "parametric_analysis",
+    "EnvelopeOverflowError",
+    "BatchedSweep",
+    "batched_sweep_graphs",
+]
 
 
 @dataclass(frozen=True)
@@ -289,3 +297,214 @@ def parametric_analysis(
     final = _upper_envelope(terminal, l_min, l_max)
     envelope = PiecewiseLinear(lines=final, lo=l_min, hi=l_max)
     return ParametricAnalysis(envelope=envelope, params=params, graph=graph)
+
+
+# ---------------------------------------------------------------------------
+# batched LP sweeps
+# ---------------------------------------------------------------------------
+
+
+class BatchedSweep:
+    """Reuse one assembled LP across a whole latency sweep.
+
+    The cold path solves an independent LP per ``(graph, L)`` point: each
+    solve re-lowers the model and cold-starts the solver.  ``BatchedSweep``
+    exploits two structural facts instead:
+
+    1. only the lower bound of the latency variable changes between sweep
+       points, so the CSR lowering (:mod:`repro.lp.assembler`) is built once
+       per graph and every re-solve just refreshes the bounds vector;
+    2. ``T(L)`` is convex piecewise linear, and each solve at ``L`` returns
+       the *tangent* of the curve — the value ``T(L)`` and the slope ``λ_L``
+       (reduced cost of ``l``).  The previous vertex therefore remains
+       optimal until the sweep crosses a breakpoint: recursing on tangent
+       intersections discovers every linear segment with
+       ``O(#breakpoints)`` LP solves, after which any number of sweep points
+       is evaluated from the reconstructed envelope without touching the
+       solver again.
+
+    The result is exact (not an approximation): every returned value lies on
+    the same piecewise-linear curve the per-point cold solves sample.
+
+    Parameters
+    ----------
+    graph_lp:
+        A :class:`~repro.core.lp_builder.GraphLP` built with
+        ``latency_mode="global"``.
+    l_min, l_max:
+        The latency interval swept.
+    backend:
+        Backend name from the default registry (``"auto"`` picks the dense
+        simplex for tiny models, HiGHS otherwise).
+    max_pieces:
+        Guard against pathological envelope growth: discovering more than
+        this many linear segments raises :class:`EnvelopeOverflowError`.
+    max_solves:
+        Hard bound on the number of LP solves.
+    """
+
+    def __init__(
+        self,
+        graph_lp,
+        *,
+        l_min: float = 0.0,
+        l_max: float = 10_000.0,
+        backend: str = "auto",
+        max_pieces: int = 50_000,
+        max_solves: int = 10_000,
+    ) -> None:
+        if graph_lp.latency is None:
+            raise ValueError(
+                "BatchedSweep requires a GraphLP built with latency_mode='global'"
+            )
+        if l_min < 0 or l_max <= l_min:
+            raise ValueError(f"invalid latency interval [{l_min}, {l_max}]")
+        if max_pieces < 1:
+            raise ValueError(f"max_pieces must be positive, got {max_pieces}")
+        self.graph_lp = graph_lp
+        self.l_min = float(l_min)
+        self.l_max = float(l_max)
+        self.backend = backend
+        self.max_pieces = max_pieces
+        self.max_solves = max_solves
+        self.num_solves = 0
+        self._envelope: PiecewiseLinear | None = None
+
+    # -- envelope construction -------------------------------------------------
+
+    def _probe(self, L: float):
+        from .critical_latency import Tangent
+
+        if self.num_solves >= self.max_solves:
+            raise RuntimeError(
+                f"exceeded {self.max_solves} LP solves while sweeping latencies"
+            )
+        self.num_solves += 1
+        solution = self.graph_lp.solve_runtime(L=L, backend=self.backend)
+        slope = self.graph_lp.latency_sensitivity(solution)
+        return Tangent(L=L, value=solution.objective, slope=slope)
+
+    def _build_envelope(self) -> PiecewiseLinear:
+        from .critical_latency import _close
+
+        tangents = [self._probe(self.l_min), self._probe(self.l_max)]
+        slopes_seen = {round(t.slope, 9) for t in tangents}
+
+        def guard() -> None:
+            if len(slopes_seen) > self.max_pieces:
+                raise EnvelopeOverflowError(
+                    f"latency sweep envelope has more than {self.max_pieces} "
+                    "pieces; narrow the interval or raise max_pieces"
+                )
+
+        guard()
+
+        # explicit worklist instead of recursion: breakpoints clustered at
+        # one end of the interval would otherwise nest O(#segments) deep
+        worklist = [(tangents[0], tangents[1])]
+        while worklist:
+            lo, hi = worklist.pop()
+            if _close(lo.slope, hi.slope) and _close(lo.extrapolate(hi.L), hi.value):
+                continue
+            denom = hi.slope - lo.slope
+            if abs(denom) <= 1e-12:
+                continue
+            x = (lo.intercept - hi.intercept) / denom
+            x = min(max(x, lo.L), hi.L)
+            if _close(x, lo.L) or _close(x, hi.L):
+                # the breakpoint coincides with an endpoint: both segments
+                # are already represented by the endpoint tangents
+                continue
+            mid = self._probe(x)
+            if _close(mid.value, lo.extrapolate(x)) and _close(mid.value, hi.extrapolate(x)):
+                # x is the unique breakpoint between the two tangents; the
+                # probe returned a supporting line at the kink (its slope can
+                # be any subgradient, not a segment slope) — discard it, both
+                # adjacent segments are already represented by lo and hi.
+                continue
+            tangents.append(mid)
+            slopes_seen.add(round(mid.slope, 9))
+            guard()
+            worklist.append((lo, mid))
+            worklist.append((mid, hi))
+
+        lines = [Line(t.slope, t.intercept) for t in tangents]
+        env = _upper_envelope(lines, self.l_min, self.l_max)
+        if len(env) > self.max_pieces:
+            raise EnvelopeOverflowError(
+                f"latency sweep envelope has {len(env)} pieces (> {self.max_pieces})"
+            )
+        return PiecewiseLinear(lines=env, lo=self.l_min, hi=self.l_max)
+
+    @property
+    def envelope(self) -> PiecewiseLinear:
+        """The exact ``T(L)`` curve on ``[l_min, l_max]`` (built lazily)."""
+        if self._envelope is None:
+            self._envelope = self._build_envelope()
+        return self._envelope
+
+    # -- queries -----------------------------------------------------------------
+
+    def value(self, L: float) -> float:
+        """``T(L)``."""
+        return self.envelope.value(L)
+
+    def slope(self, L: float) -> float:
+        """``λ_L`` at ``L`` (slope from above at breakpoints)."""
+        return self.envelope.slope(L)
+
+    def values(self, Ls: Iterable[float]) -> np.ndarray:
+        """Vectorised ``T`` over a sweep of latencies."""
+        return self.envelope.sample(Ls)
+
+    def sensitivities(self, Ls: Iterable[float]) -> np.ndarray:
+        """``λ_L`` over a sweep of latencies."""
+        return np.asarray([self.envelope.slope(float(L)) for L in Ls], dtype=np.float64)
+
+    def breakpoints(self) -> list[float]:
+        """All critical latencies inside ``(l_min, l_max)``."""
+        return self.envelope.breakpoints()
+
+    def latency_tolerance(self, runtime_bound: float) -> float:
+        """Largest ``L`` in the interval with ``T(L) <= runtime_bound``."""
+        return self.envelope.solve_for_value(runtime_bound)
+
+
+def _sweep_one_graph(job) -> PiecewiseLinear:
+    graph, params, l_min, l_max, backend, max_pieces, build_kwargs = job
+    from .lp_builder import build_lp
+
+    graph_lp = build_lp(graph, params, **build_kwargs)
+    sweep = BatchedSweep(
+        graph_lp, l_min=l_min, l_max=l_max, backend=backend, max_pieces=max_pieces
+    )
+    return sweep.envelope
+
+
+def batched_sweep_graphs(
+    graphs: Sequence[ExecutionGraph],
+    params: LogGPSParams,
+    *,
+    l_min: float = 0.0,
+    l_max: float = 10_000.0,
+    backend: str = "auto",
+    max_pieces: int = 50_000,
+    processes: int | None = None,
+    **build_kwargs,
+) -> list[PiecewiseLinear]:
+    """Batched sweeps of several independent graphs, optionally in parallel.
+
+    Returns one exact ``T(L)`` envelope per graph.  ``processes > 1`` fans
+    the graphs out over a :mod:`multiprocessing` pool (each worker assembles
+    and sweeps its own graphs); anything else runs serially in-process.
+    """
+    jobs = [
+        (graph, params, l_min, l_max, backend, max_pieces, build_kwargs)
+        for graph in graphs
+    ]
+    if processes is not None and processes > 1 and len(jobs) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(min(processes, len(jobs))) as pool:
+            return pool.map(_sweep_one_graph, jobs)
+    return [_sweep_one_graph(job) for job in jobs]

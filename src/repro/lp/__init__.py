@@ -1,5 +1,7 @@
 """Linear programming layer: modelling objects and interchangeable backends."""
 
+from .assembler import AssembledLP, assemble
+from .backends import BackendRegistry, BackendSpec, auto_backend_choice, default_registry
 from .model import (
     Constraint,
     InfeasibleError,
@@ -29,4 +31,10 @@ __all__ = [
     "solve_highs",
     "solve_simplex",
     "SimplexOptions",
+    "AssembledLP",
+    "assemble",
+    "BackendRegistry",
+    "BackendSpec",
+    "default_registry",
+    "auto_backend_choice",
 ]

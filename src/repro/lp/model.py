@@ -230,6 +230,12 @@ class LPModel:
         self.constraints: list[Constraint] = []
         self.objective: LinearExpr = LinearExpr()
         self.sense: Sense = Sense.MIN
+        # Revision counters consumed by :mod:`repro.lp.assembler` to decide
+        # how much of the cached CSR lowering can be reused between solves.
+        self._structure_version = 0
+        self._bounds_version = 0
+        self._objective_version = 0
+        self._assembled_cache: object | None = None
 
     # -- construction ----------------------------------------------------------
 
@@ -248,6 +254,7 @@ class LPModel:
             ub=float(ub),
         )
         self.variables.append(var)
+        self._structure_version += 1
         return var
 
     def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
@@ -260,6 +267,7 @@ class LPModel:
         if name:
             constraint.name = name
         self.constraints.append(constraint)
+        self._structure_version += 1
         return constraint
 
     def add_ge(self, lhs: Variable | LinearExpr, rhs: Variable | LinearExpr | float,
@@ -272,10 +280,25 @@ class LPModel:
         """Add ``lhs <= rhs``."""
         return self.add_constraint(LinearExpr._coerce(lhs) <= rhs, name=name)
 
+    def pop_constraint(self) -> Constraint:
+        """Remove and return the most recently added constraint.
+
+        Temporary rows (e.g. the runtime bound of the latency-tolerance LP)
+        must be removed through this method so the cached assembly is
+        invalidated; popping ``model.constraints`` directly leaves stale
+        lowered arrays behind.
+        """
+        if not self.constraints:
+            raise LPError("model has no constraints to remove")
+        constraint = self.constraints.pop()
+        self._structure_version += 1
+        return constraint
+
     def set_objective(self, expr: Variable | LinearExpr, sense: Sense | str = Sense.MIN) -> None:
         """Set the objective function and optimisation direction."""
         self.objective = LinearExpr._coerce(expr)
         self.sense = Sense(sense) if not isinstance(sense, Sense) else sense
+        self._objective_version += 1
 
     def set_var_lb(self, var: Variable, lb: float) -> Variable:
         """Replace the lower bound of ``var`` (returns the updated variable).
@@ -289,6 +312,7 @@ class LPModel:
             model_id=self._id, index=var.index, name=var.name, lb=float(lb), ub=var.ub
         )
         self.variables[var.index] = updated
+        self._bounds_version += 1
         return updated
 
     def set_var_ub(self, var: Variable, ub: float) -> Variable:
@@ -299,6 +323,7 @@ class LPModel:
             model_id=self._id, index=var.index, name=var.name, lb=var.lb, ub=float(ub)
         )
         self.variables[var.index] = updated
+        self._bounds_version += 1
         return updated
 
     # -- introspection -----------------------------------------------------------
@@ -311,6 +336,30 @@ class LPModel:
     def num_constraints(self) -> int:
         return len(self.constraints)
 
+    @property
+    def structure_version(self) -> int:
+        """Bumped whenever variables or constraints are added/removed."""
+        return self._structure_version
+
+    @property
+    def bounds_version(self) -> int:
+        """Bumped whenever a variable bound changes."""
+        return self._bounds_version
+
+    @property
+    def objective_version(self) -> int:
+        """Bumped whenever the objective (coefficients or sense) changes."""
+        return self._objective_version
+
+    def invalidate(self) -> None:
+        """Force a full re-assembly on the next solve.
+
+        Only needed after mutating ``variables``/``constraints``/``objective``
+        directly instead of going through the ``add_*``/``set_*``/``pop_*``
+        methods.
+        """
+        self._structure_version += 1
+
     def variable_by_name(self, name: str) -> Variable:
         for var in self.variables:
             if var.name == name:
@@ -320,16 +369,15 @@ class LPModel:
     # -- solving -----------------------------------------------------------------
 
     def solve(self, backend: str = "highs", **options: object) -> "LPSolution":
-        """Solve the model with the selected backend and return a solution."""
-        if backend == "highs":
-            from .scipy_backend import solve_highs
+        """Solve the model with the selected backend and return a solution.
 
-            return solve_highs(self, **options)
-        if backend == "simplex":
-            from .simplex import solve_simplex
+        ``backend`` names an entry of the default
+        :class:`~repro.lp.backends.BackendRegistry` (``"highs"``,
+        ``"simplex"``, ``"auto"``, or anything registered by the caller).
+        """
+        from .backends import default_registry
 
-            return solve_simplex(self, **options)
-        raise ValueError(f"unknown LP backend {backend!r}; expected 'highs' or 'simplex'")
+        return default_registry.solve(self, backend=backend, **options)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

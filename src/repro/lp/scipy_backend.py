@@ -6,20 +6,23 @@ constraints generated from execution graphs and then solves the reduced
 problem with the dual simplex or interior-point algorithm.  The marginals
 SciPy returns give us constraint duals and variable reduced costs, which is
 all LLAMP needs for ``λ_L`` and ``λ_G``.
+
+The model is lowered through :mod:`repro.lp.assembler`, so re-solving the
+same model (a latency sweep mutates only variable bounds) reuses the cached
+CSR matrix instead of re-expanding the constraint dictionaries.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy import sparse
 from scipy.optimize import linprog
 
+from .assembler import assemble
 from .model import (
     InfeasibleError,
     LPError,
     LPModel,
     LPSolution,
-    Sense,
     Status,
     UnboundedError,
 )
@@ -27,56 +30,31 @@ from .model import (
 __all__ = ["solve_highs"]
 
 
-def _build_standard_form(model: LPModel) -> tuple[np.ndarray, sparse.csr_matrix, np.ndarray, list[tuple[float, float]], float, float]:
-    """Convert the model to ``min c^T x`` s.t. ``A_ub x <= b_ub`` and bounds.
+def solve_highs(
+    model: LPModel,
+    *,
+    warm_start: LPSolution | np.ndarray | None = None,
+    method: str = "highs",
+    presolve: bool = True,
+) -> LPSolution:
+    """Solve ``model`` with :func:`scipy.optimize.linprog` (HiGHS).
 
-    Returns ``(c, A_ub, b_ub, bounds, obj_const, obj_sign)`` where
-    ``obj_sign`` is -1 when the original problem is a maximisation.
+    ``warm_start`` is accepted for protocol uniformity with the other
+    backends but ignored: SciPy's ``linprog`` does not expose a basis
+    hand-off for the HiGHS methods.  Sweep-level reuse (the
+    :class:`~repro.core.parametric.BatchedSweep` tangent cache) recovers the
+    benefit instead.
     """
-    n = model.num_vars
-    obj_sign = 1.0 if model.sense is Sense.MIN else -1.0
-
-    c = np.zeros(n, dtype=np.float64)
-    for idx, coeff in model.objective.coeffs.items():
-        c[idx] = obj_sign * coeff
-    obj_const = model.objective.constant
-
-    rows: list[int] = []
-    cols: list[int] = []
-    data: list[float] = []
-    b_ub = np.zeros(model.num_constraints, dtype=np.float64)
-    for row, constraint in enumerate(model.constraints):
-        # constraint: expr >= 0  ->  -coeffs x <= const
-        #             expr <= 0  ->   coeffs x <= -const
-        sign = -1.0 if constraint.sense == ">=" else 1.0
-        for idx, coeff in constraint.expr.coeffs.items():
-            rows.append(row)
-            cols.append(idx)
-            data.append(sign * coeff)
-        b_ub[row] = -sign * constraint.expr.constant
-
-    A_ub = sparse.csr_matrix(
-        (data, (rows, cols)), shape=(model.num_constraints, n), dtype=np.float64
-    )
-    bounds = [(var.lb, None if np.isinf(var.ub) else var.ub) for var in model.variables]
-    return c, A_ub, b_ub, bounds, obj_const, obj_sign
-
-
-def solve_highs(model: LPModel, *, method: str = "highs", presolve: bool = True) -> LPSolution:
-    """Solve ``model`` with :func:`scipy.optimize.linprog` (HiGHS)."""
+    del warm_start  # no basis hand-off through scipy.optimize.linprog
     if model.num_vars == 0:
         raise LPError("model has no variables")
-    c, A_ub, b_ub, bounds, obj_const, obj_sign = _build_standard_form(model)
-
-    if model.num_constraints == 0:
-        A_ub = None
-        b_ub = None
+    assembled = assemble(model)
 
     result = linprog(
-        c,
-        A_ub=A_ub,
-        b_ub=b_ub,
-        bounds=bounds,
+        assembled.c,
+        A_ub=assembled.A_ub,
+        b_ub=assembled.b_ub if assembled.A_ub is not None else None,
+        bounds=assembled.linprog_bounds(),
         method=method,
         options={"presolve": presolve},
     )
@@ -88,8 +66,9 @@ def solve_highs(model: LPModel, *, method: str = "highs", presolve: bool = True)
     if result.status != 0:
         raise LPError(f"LP {model.name!r} failed: {result.message}")
 
+    obj_sign = assembled.obj_sign
     values = np.asarray(result.x, dtype=np.float64)
-    objective = obj_sign * float(result.fun) + obj_const
+    objective = obj_sign * float(result.fun) + assembled.obj_const
 
     reduced_costs = None
     duals = None

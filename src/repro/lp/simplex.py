@@ -53,8 +53,19 @@ class SimplexOptions:
         self.tolerance = tolerance
 
 
-def solve_simplex(model: LPModel, *, options: SimplexOptions | None = None) -> LPSolution:
-    """Solve ``model`` with the dense two-phase simplex."""
+def solve_simplex(
+    model: LPModel,
+    *,
+    warm_start: LPSolution | np.ndarray | None = None,
+    options: SimplexOptions | None = None,
+) -> LPSolution:
+    """Solve ``model`` with the dense two-phase simplex.
+
+    ``warm_start`` is accepted for protocol uniformity with the other
+    backends but ignored: the tableau is rebuilt from scratch and phase one
+    always starts from the artificial basis.
+    """
+    del warm_start  # the dense tableau is rebuilt on every call
     options = options or SimplexOptions()
     n_user = model.num_vars
     if n_user == 0:

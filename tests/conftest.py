@@ -1,11 +1,17 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Graph constructors live in :mod:`repro.testing` — import them from there in
+test modules (``conftest`` is not an importable module name: when pytest
+collects both ``tests/`` and ``benchmarks/``, ``from conftest import ...``
+resolves to whichever conftest was loaded first).
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.network.params import LogGPSParams
-from repro.schedgen.graph import GraphBuilder
+from repro.testing import build_running_example
 
 
 @pytest.fixture
@@ -18,21 +24,6 @@ def simple_params() -> LogGPSParams:
 def paper_params() -> LogGPSParams:
     """The parameters of the paper's Fig. 4 running example."""
     return LogGPSParams(L=0.0, o=0.0, g=0.0, G=0.005, S=256 * 1024, P=2)
-
-
-def build_running_example(c0: float = 0.1):
-    """The two-rank example of Fig. 4: C0 -> S -> C1 on rank 0, C2 -> R -> C3 on rank 1."""
-    builder = GraphBuilder(nranks=2)
-    v_c0 = builder.add_calc(0, c0)
-    v_s = builder.add_send(0, 1, 4)
-    v_c1 = builder.add_calc(0, 1.0)
-    builder.chain([v_c0, v_s, v_c1])
-    v_c2 = builder.add_calc(1, 0.5)
-    v_r = builder.add_recv(1, 0, 4)
-    v_c3 = builder.add_calc(1, 1.0)
-    builder.chain([v_c2, v_r, v_c3])
-    builder.add_comm_edge(v_s, v_r)
-    return builder.freeze()
 
 
 @pytest.fixture

@@ -1,0 +1,151 @@
+"""Tests for the batched L-sweep engine (``BatchedSweep``)."""
+
+import numpy as np
+import pytest
+
+from repro import CSCS_TESTBED
+from repro.core import (
+    BatchedSweep,
+    EnvelopeOverflowError,
+    LatencyAnalyzer,
+    batched_sweep_graphs,
+    build_lp,
+    parametric_analysis,
+)
+from repro.network.params import LogGPSParams
+from repro.testing import build_random_dag, build_running_example, build_staircase
+
+ZERO_OVERHEAD = LogGPSParams(L=0.0, o=0.0, g=0.0, G=0.0)
+
+
+def cold_values(graph, params, Ls):
+    lp = build_lp(graph, params)
+    return np.array(
+        [lp.solve_runtime(L=float(L), backend="highs").objective for L in Ls]
+    )
+
+
+class TestBatchedSweep:
+    def test_matches_cold_solves_on_running_example(self, running_example, paper_params):
+        sweep = BatchedSweep(build_lp(running_example, paper_params), l_min=0.0, l_max=2.0)
+        Ls = np.linspace(0.0, 2.0, 100)
+        np.testing.assert_allclose(
+            sweep.values(Ls), cold_values(running_example, paper_params, Ls), atol=1e-6
+        )
+        assert sweep.num_solves < 10
+
+    def test_breakpoints_match_parametric_engine(self, running_example, paper_params):
+        sweep = BatchedSweep(build_lp(running_example, paper_params), l_min=0.0, l_max=2.0)
+        reference = parametric_analysis(
+            running_example, paper_params, l_min=0.0, l_max=2.0
+        ).critical_latencies()
+        assert sweep.breakpoints() == pytest.approx(reference, abs=1e-6)
+        assert sweep.breakpoints() == pytest.approx([0.385], abs=1e-6)
+
+    def test_staircase_breakpoints_and_values(self):
+        k = 6
+        graph = build_staircase(k)
+        sweep = BatchedSweep(build_lp(graph, ZERO_OVERHEAD), l_min=0.0, l_max=float(k + 2))
+        assert sweep.breakpoints() == pytest.approx(list(range(1, k)), abs=1e-6)
+        Ls = np.linspace(0.0, k + 2, 80)
+        np.testing.assert_allclose(
+            sweep.values(Ls), cold_values(graph, ZERO_OVERHEAD, Ls), atol=1e-6
+        )
+
+    def test_sensitivities_match_lp_away_from_breakpoints(self, running_example, paper_params):
+        sweep = BatchedSweep(build_lp(running_example, paper_params), l_min=0.0, l_max=2.0)
+        lp = build_lp(running_example, paper_params)
+        for L in (0.1, 0.2, 0.5, 1.0, 1.7):
+            solution = lp.solve_runtime(L=L)
+            assert sweep.slope(L) == pytest.approx(
+                lp.latency_sensitivity(solution), abs=1e-6
+            )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_dags_match_cold_solves(self, seed):
+        graph = build_random_dag(seed, nranks=4, rounds=12)
+        params = LogGPSParams(L=0.5, o=0.2, g=0.0, G=0.001)
+        sweep = BatchedSweep(build_lp(graph, params), l_min=0.5, l_max=20.0)
+        Ls = np.linspace(0.5, 20.0, 40)
+        np.testing.assert_allclose(
+            sweep.values(Ls), cold_values(graph, params, Ls), atol=1e-6
+        )
+
+    def test_fig01_tolerance_zone_parameters(self):
+        """The CSCS testbed configuration used by the Fig. 1 sweeps."""
+        from repro.apps import lulesh
+
+        graph = lulesh.build(4, params=CSCS_TESTBED, iterations=2)
+        lp = build_lp(graph, CSCS_TESTBED)
+        l_max = CSCS_TESTBED.L + 300.0
+        sweep = BatchedSweep(lp, l_min=CSCS_TESTBED.L, l_max=l_max)
+        Ls = CSCS_TESTBED.L + np.linspace(0.0, 100.0, 20)
+        np.testing.assert_allclose(
+            sweep.values(Ls), cold_values(graph, CSCS_TESTBED, Ls), atol=1e-6
+        )
+        # latency tolerance from the envelope == dedicated max-l LP
+        baseline = sweep.value(CSCS_TESTBED.L)
+        bound = 1.05 * baseline
+        lp_reference = build_lp(graph, CSCS_TESTBED)
+        lp_reference.set_latency_bound(CSCS_TESTBED.L)
+        expected = lp_reference.solve_max_latency(bound).objective
+        assert sweep.latency_tolerance(bound) == pytest.approx(expected, rel=1e-6)
+
+    def test_envelope_overflow_raised(self):
+        lp = build_lp(build_staircase(6), ZERO_OVERHEAD)
+        sweep = BatchedSweep(lp, l_min=0.0, l_max=10.0, max_pieces=3)
+        with pytest.raises(EnvelopeOverflowError):
+            sweep.envelope
+
+    def test_requires_global_latency_mode(self, running_example, paper_params):
+        lp = build_lp(running_example, paper_params, latency_mode="per_pair")
+        with pytest.raises(ValueError, match="global"):
+            BatchedSweep(lp)
+
+    def test_invalid_interval_rejected(self, running_example, paper_params):
+        lp = build_lp(running_example, paper_params)
+        with pytest.raises(ValueError):
+            BatchedSweep(lp, l_min=2.0, l_max=1.0)
+
+
+class TestBatchedSweepGraphs:
+    def test_serial_and_parallel_agree(self, paper_params):
+        graphs = [build_running_example(0.1), build_running_example(1.0), build_staircase(4)]
+        serial = batched_sweep_graphs(graphs, ZERO_OVERHEAD, l_min=0.0, l_max=5.0)
+        parallel = batched_sweep_graphs(
+            graphs, ZERO_OVERHEAD, l_min=0.0, l_max=5.0, processes=2
+        )
+        Ls = np.linspace(0.0, 5.0, 30)
+        for env_serial, env_parallel in zip(serial, parallel):
+            np.testing.assert_allclose(
+                env_serial.sample(Ls), env_parallel.sample(Ls), atol=1e-12
+            )
+
+
+class TestAnalyzerIntegration:
+    def test_batched_engine_matches_lp_engine(self, running_example, paper_params):
+        deltas = np.linspace(0.0, 2.0, 25)
+        lp_curve = LatencyAnalyzer(running_example, paper_params).sensitivity_curve(deltas)
+        batched_curve = LatencyAnalyzer(running_example, paper_params).sensitivity_curve(
+            deltas, engine="batched"
+        )
+        np.testing.assert_allclose(batched_curve.runtime, lp_curve.runtime, atol=1e-6)
+        np.testing.assert_allclose(batched_curve.l_ratio, lp_curve.l_ratio, atol=1e-6)
+
+    def test_empty_sweep_matches_lp_engine(self, running_example, paper_params):
+        analyzer = LatencyAnalyzer(running_example, paper_params)
+        curve = analyzer.sensitivity_curve([], engine="batched")
+        assert curve.runtime.size == 0
+        assert curve.l_ratio.size == 0
+
+    def test_unknown_engine_rejected(self, running_example, paper_params):
+        analyzer = LatencyAnalyzer(running_example, paper_params)
+        with pytest.raises(ValueError, match="engine"):
+            analyzer.sensitivity_curve([0.0, 1.0], engine="warp")
+
+    def test_batched_sweep_helper_defaults_to_baseline_latency(self):
+        graph = build_running_example()
+        params = LogGPSParams(L=0.25, o=0.0, g=0.0, G=0.005)
+        sweep = LatencyAnalyzer(graph, params).batched_sweep(l_max=2.0)
+        assert sweep.l_min == 0.25
+        assert sweep.value(0.5) == pytest.approx(1.615)

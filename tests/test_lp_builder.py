@@ -7,7 +7,7 @@ from repro.core.critical_latency import find_critical_latencies
 from repro.network.params import LogGPSParams
 from repro.schedgen.graph import GraphBuilder
 
-from conftest import build_running_example
+from repro.testing import build_running_example
 
 
 class TestRunningExample:
