@@ -33,7 +33,7 @@ import numpy as np
 
 from ..network.params import LogGPSParams
 from ..schedgen.graph import ExecutionGraph
-from .critical_latency import find_critical_latencies
+from .critical_latency import critical_latency_curve, find_critical_latencies
 from .graph_analysis import CriticalPathResult, analyze_critical_path
 from .lp_builder import GraphLP, build_lp
 from .parametric import BatchedSweep, ParametricAnalysis, parametric_analysis
@@ -252,6 +252,16 @@ class LatencyAnalyzer:
         return find_critical_latencies(
             self.lp, lo, l_max, backend=self.backend, step=step
         )
+
+    def critical_latency_curve(self, l_min: float | None = None, l_max: float = 1_000.0):
+        """One :class:`~repro.lp.parametric.Tangent` per linear segment of ``T(L)``.
+
+        Runs the shared tangent-envelope search once on the cached LP; the
+        per-segment tangents are reconstructed from its cache without any
+        additional LP solves at the segment mid-points.
+        """
+        lo = self.params.L if l_min is None else l_min
+        return critical_latency_curve(self.lp, lo, l_max, backend=self.backend)
 
     # -- reporting ----------------------------------------------------------------------
 

@@ -7,62 +7,36 @@ the paper sweeps an interval ``[L_min, L_max]`` from above, repeatedly
 solving the LP and jumping to the lower end of the current basis's
 feasibility range (Gurobi's ``SALBLow``).
 
-The open-source HiGHS backend does not expose ranging information, so this
-module recovers the same set of breakpoints with tangent-line probing, which
-relies only on the two facts Algorithm 2 also exploits — ``T(L)`` is convex
-piecewise linear, and each LP solve yields the tangent (value ``T`` and slope
-``λ_L``) at the probed point:
+The open-source HiGHS backend does not expose ranging information, so the
+breakpoints are recovered with the shared tangent-envelope search of
+:class:`repro.lp.parametric.ParametricLP` — ``O(#breakpoints)`` LP solves on
+one assembled model, the same complexity class as Algorithm 2 with exact
+ranging and strictly better than a fixed ``step`` sweep.  A ``step``
+argument is still accepted for compatibility with the paper's interface:
+when given, breakpoints closer than ``step`` are coalesced.
 
-* solve at both interval ends to obtain two tangents;
-* if the tangents coincide, there is no breakpoint in between;
-* otherwise their intersection ``x`` either lies on the curve (then ``x`` is
-  the unique breakpoint in the open interval) or strictly below it (then
-  recurse on ``[lo, x]`` and ``[x, hi]``).
-
-The number of LP solves is ``O(number of breakpoints)`` — the same complexity
-class as Algorithm 2 with exact ranging, and strictly better than a fixed
-``step`` sweep.  A ``step`` argument is still accepted for compatibility with
-the paper's interface: when given, breakpoints closer than ``step`` are
-coalesced.
+Both functions here are thin wrappers; the search itself lives in
+:mod:`repro.lp.parametric` and is shared with
+:class:`repro.core.parametric.BatchedSweep`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
-
+from ..lp.parametric import Tangent, TangentEnvelope
 from .lp_builder import GraphLP
 
 __all__ = ["Tangent", "find_critical_latencies", "critical_latency_curve"]
 
-_REL_TOL = 1e-7
-_ABS_TOL = 1e-9
 
-
-@dataclass(frozen=True)
-class Tangent:
-    """The tangent of ``T(L)`` at one probed latency: value and slope."""
-
-    L: float
-    value: float
-    slope: float
-
-    @property
-    def intercept(self) -> float:
-        return self.value - self.slope * self.L
-
-    def extrapolate(self, x: float) -> float:
-        return self.value + self.slope * (x - self.L)
-
-
-def _probe(graph_lp: GraphLP, L: float, backend: str) -> Tangent:
-    solution = graph_lp.solve_runtime(L=L, backend=backend)
-    lam = graph_lp.latency_sensitivity(solution)
-    return Tangent(L=L, value=solution.objective, slope=lam)
-
-
-def _close(a: float, b: float) -> bool:
-    return abs(a - b) <= _ABS_TOL + _REL_TOL * max(abs(a), abs(b), 1.0)
+def _collect_breakpoints(result: TangentEnvelope, step: float | None) -> list[float]:
+    breakpoints = sorted(set(round(bp, 12) for bp in result.breakpoints))
+    if step is not None and step > 0 and breakpoints:
+        coalesced = [breakpoints[0]]
+        for bp in breakpoints[1:]:
+            if bp - coalesced[-1] >= step:
+                coalesced.append(bp)
+        breakpoints = coalesced
+    return breakpoints
 
 
 def find_critical_latencies(
@@ -82,52 +56,8 @@ def find_critical_latencies(
     """
     if l_min < 0 or l_max <= l_min:
         raise ValueError(f"invalid latency interval [{l_min}, {l_max}]")
-
-    solves = 0
-
-    def probe(L: float) -> Tangent:
-        nonlocal solves
-        solves += 1
-        if solves > max_solves:
-            raise RuntimeError(f"exceeded {max_solves} LP solves while sweeping latencies")
-        return _probe(graph_lp, L, backend)
-
-    breakpoints: list[float] = []
-
-    def recurse(lo: Tangent, hi: Tangent) -> None:
-        if _close(lo.slope, hi.slope) and _close(lo.extrapolate(hi.L), hi.value):
-            return
-        # intersection of the two tangents
-        denom = hi.slope - lo.slope
-        if abs(denom) <= _ABS_TOL:
-            # same slope but different lines cannot happen for a convex
-            # function probed on the same curve; treat as no breakpoint.
-            return
-        x = (lo.intercept - hi.intercept) / denom
-        x = min(max(x, lo.L), hi.L)
-        if _close(x, lo.L) or _close(x, hi.L):
-            # numerical corner: the breakpoint coincides with an endpoint
-            breakpoints.append(x)
-            return
-        mid = probe(x)
-        if _close(mid.value, lo.extrapolate(x)) and _close(mid.value, hi.extrapolate(x)):
-            breakpoints.append(x)
-            return
-        recurse(lo, mid)
-        recurse(mid, hi)
-
-    low = probe(l_min)
-    high = probe(l_max)
-    recurse(low, high)
-
-    breakpoints = sorted(set(round(bp, 12) for bp in breakpoints))
-    if step is not None and step > 0 and breakpoints:
-        coalesced = [breakpoints[0]]
-        for bp in breakpoints[1:]:
-            if bp - coalesced[-1] >= step:
-                coalesced.append(bp)
-        breakpoints = coalesced
-    return breakpoints
+    result = graph_lp.tangent_envelope(l_min, l_max, backend=backend, max_solves=max_solves)
+    return _collect_breakpoints(result, step)
 
 
 def critical_latency_curve(
@@ -136,17 +66,22 @@ def critical_latency_curve(
     l_max: float,
     *,
     backend: str = "highs",
+    max_solves: int = 10_000,
 ) -> list[Tangent]:
     """Tangents of ``T(L)`` on every linear segment of ``[l_min, l_max]``.
 
-    Returns one :class:`Tangent` per segment (probed at the segment
+    Returns one :class:`Tangent` per segment (anchored at the segment
     mid-point), which is enough to reconstruct the exact ``T(L)`` curve and
-    the step function ``λ_L(L)`` over the interval.
+    the step function ``λ_L(L)`` over the interval.  The segment tangents are
+    served from the cache of the single envelope search — no additional LP
+    solves at the segment mid-points.
     """
-    points = find_critical_latencies(graph_lp, l_min, l_max, backend=backend)
+    if l_min < 0 or l_max <= l_min:
+        raise ValueError(f"invalid latency interval [{l_min}, {l_max}]")
+    result = graph_lp.tangent_envelope(l_min, l_max, backend=backend, max_solves=max_solves)
+    points = _collect_breakpoints(result, None)
     boundaries = [l_min, *points, l_max]
-    tangents = []
-    for lo, hi in zip(boundaries, boundaries[1:]):
-        mid = 0.5 * (lo + hi)
-        tangents.append(_probe(graph_lp, mid, backend))
-    return tangents
+    return [
+        result.segment_tangent(0.5 * (lo + hi))
+        for lo, hi in zip(boundaries, boundaries[1:])
+    ]

@@ -159,6 +159,42 @@ class GraphLP:
             self._set_min_objective()
         return solution
 
+    def tangent_envelope(
+        self,
+        l_min: float,
+        l_max: float,
+        *,
+        backend: str = "highs",
+        max_solves: int = 10_000,
+        max_pieces: int | None = None,
+        engine=None,
+    ):
+        """Run the shared tangent-envelope search over the latency variable.
+
+        Returns the :class:`~repro.lp.parametric.TangentEnvelope` of
+        ``T(L)`` on ``[l_min, l_max]`` — the single entry point used by
+        Algorithm 2 (:mod:`repro.core.critical_latency`) and the batched
+        sweep engine.  Keeps the engine hand-off (objective reset, latency
+        variable re-sync after the bound-moving probes) in one place.
+        Callers that need solve counts even when the search raises can pass
+        their own :class:`~repro.lp.parametric.ParametricLP` as ``engine``
+        (``backend``/``max_solves`` are then ignored).
+        """
+        if self.latency is None:
+            raise ValueError("this LP was built in per-pair latency mode")
+        from ..lp.parametric import ParametricLP
+
+        self._set_min_objective()
+        if engine is None:
+            engine = ParametricLP(self.model, backend=backend, max_solves=max_solves)
+        try:
+            return engine.tangent_envelope(
+                self.latency, l_min, l_max, max_pieces=max_pieces
+            )
+        finally:
+            # the probes moved the latency lower bound; re-sync the handle
+            self.latency = self.model.variables[self.latency.index]
+
     def _set_min_objective(self) -> None:
         # no-op when already minimising t: set_objective bumps the model's
         # objective revision, which would force the assembler to rebuild the

@@ -34,6 +34,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..lp.parametric import EnvelopeOverflowError, ParametricLP
 from ..network.params import LogGPSParams
 from ..schedgen.graph import EdgeKind, ExecutionGraph, VertexKind
 
@@ -60,10 +61,6 @@ class Line:
 
     def shifted(self, slope_delta: float, intercept_delta: float) -> "Line":
         return Line(self.slope + slope_delta, self.intercept + intercept_delta)
-
-
-class EnvelopeOverflowError(RuntimeError):
-    """Raised when an envelope exceeds the configured maximum piece count."""
 
 
 def _upper_envelope(lines: Sequence[Line], lo: float, hi: float) -> list[Line]:
@@ -372,63 +369,21 @@ class BatchedSweep:
 
     # -- envelope construction -------------------------------------------------
 
-    def _probe(self, L: float):
-        from .critical_latency import Tangent
-
-        if self.num_solves >= self.max_solves:
-            raise RuntimeError(
-                f"exceeded {self.max_solves} LP solves while sweeping latencies"
-            )
-        self.num_solves += 1
-        solution = self.graph_lp.solve_runtime(L=L, backend=self.backend)
-        slope = self.graph_lp.latency_sensitivity(solution)
-        return Tangent(L=L, value=solution.objective, slope=slope)
-
     def _build_envelope(self) -> PiecewiseLinear:
-        from .critical_latency import _close
+        # the tangent-probing search is the shared ParametricLP engine; this
+        # class only owns the geometric reconstruction of the envelope
+        engine = ParametricLP(
+            self.graph_lp.model, backend=self.backend, max_solves=self.max_solves
+        )
+        try:
+            result = self.graph_lp.tangent_envelope(
+                self.l_min, self.l_max, max_pieces=self.max_pieces, engine=engine
+            )
+        finally:
+            # keep the solve count observable even when the search overflows
+            self.num_solves = engine.num_solves
 
-        tangents = [self._probe(self.l_min), self._probe(self.l_max)]
-        slopes_seen = {round(t.slope, 9) for t in tangents}
-
-        def guard() -> None:
-            if len(slopes_seen) > self.max_pieces:
-                raise EnvelopeOverflowError(
-                    f"latency sweep envelope has more than {self.max_pieces} "
-                    "pieces; narrow the interval or raise max_pieces"
-                )
-
-        guard()
-
-        # explicit worklist instead of recursion: breakpoints clustered at
-        # one end of the interval would otherwise nest O(#segments) deep
-        worklist = [(tangents[0], tangents[1])]
-        while worklist:
-            lo, hi = worklist.pop()
-            if _close(lo.slope, hi.slope) and _close(lo.extrapolate(hi.L), hi.value):
-                continue
-            denom = hi.slope - lo.slope
-            if abs(denom) <= 1e-12:
-                continue
-            x = (lo.intercept - hi.intercept) / denom
-            x = min(max(x, lo.L), hi.L)
-            if _close(x, lo.L) or _close(x, hi.L):
-                # the breakpoint coincides with an endpoint: both segments
-                # are already represented by the endpoint tangents
-                continue
-            mid = self._probe(x)
-            if _close(mid.value, lo.extrapolate(x)) and _close(mid.value, hi.extrapolate(x)):
-                # x is the unique breakpoint between the two tangents; the
-                # probe returned a supporting line at the kink (its slope can
-                # be any subgradient, not a segment slope) — discard it, both
-                # adjacent segments are already represented by lo and hi.
-                continue
-            tangents.append(mid)
-            slopes_seen.add(round(mid.slope, 9))
-            guard()
-            worklist.append((lo, mid))
-            worklist.append((mid, hi))
-
-        lines = [Line(t.slope, t.intercept) for t in tangents]
+        lines = [Line(t.slope, t.intercept) for t in result.tangents]
         env = _upper_envelope(lines, self.l_min, self.l_max)
         if len(env) > self.max_pieces:
             raise EnvelopeOverflowError(

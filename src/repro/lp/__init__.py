@@ -2,6 +2,7 @@
 
 from .assembler import AssembledLP, assemble
 from .backends import BackendRegistry, BackendSpec, auto_backend_choice, default_registry
+from .parametric import EnvelopeOverflowError, ParametricLP, Tangent, TangentEnvelope
 from .model import (
     Constraint,
     InfeasibleError,
@@ -33,6 +34,10 @@ __all__ = [
     "SimplexOptions",
     "AssembledLP",
     "assemble",
+    "ParametricLP",
+    "Tangent",
+    "TangentEnvelope",
+    "EnvelopeOverflowError",
     "BackendRegistry",
     "BackendSpec",
     "default_registry",

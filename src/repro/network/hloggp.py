@@ -65,6 +65,11 @@ class ArchitectureGraph:
                     f"inter_node_latency matrix must have shape {expected}, "
                     f"got {self.inter_node_latency.shape}"
                 )
+            # per-pair LP variables model unordered rank pairs, so a direction-
+            # dependent latency is meaningless (and the vectorised swap gains
+            # rely on symmetry)
+            if not np.allclose(self.inter_node_latency, self.inter_node_latency.T):
+                raise ValueError("inter_node_latency matrix must be symmetric")
 
     @classmethod
     def from_topology(
@@ -109,30 +114,39 @@ class ArchitectureGraph:
         """Per-byte gap between two nodes."""
         return self.intra_node_gap if node_a == node_b else self.inter_node_gap
 
+    # -- node matrices ----------------------------------------------------------
+
+    def node_latency_matrix(self) -> np.ndarray:
+        """``N × N`` node-to-node latency matrix (intra-node on the diagonal)."""
+        if isinstance(self.inter_node_latency, np.ndarray):
+            matrix = np.array(self.inter_node_latency, dtype=np.float64)
+        else:
+            matrix = np.full(
+                (self.num_nodes, self.num_nodes), float(self.inter_node_latency)
+            )
+        np.fill_diagonal(matrix, self.intra_node_latency)
+        return matrix
+
+    def node_gap_matrix(self) -> np.ndarray:
+        """``N × N`` node-to-node per-byte gap matrix (intra-node on the diagonal)."""
+        matrix = np.full((self.num_nodes, self.num_nodes), float(self.inter_node_gap))
+        np.fill_diagonal(matrix, self.intra_node_gap)
+        return matrix
+
     # -- per-rank matrices ----------------------------------------------------------
 
     def latency_matrix(self, mapping: Sequence[int]) -> np.ndarray:
         """``P × P`` latency matrix for a process mapping ``π`` (rank → node)."""
-        mapping = self._check_mapping(mapping)
-        nranks = len(mapping)
-        matrix = np.zeros((nranks, nranks), dtype=np.float64)
-        for i in range(nranks):
-            for j in range(i + 1, nranks):
-                value = self.node_latency(mapping[i], mapping[j])
-                matrix[i, j] = value
-                matrix[j, i] = value
+        ranks = np.asarray(self._check_mapping(mapping), dtype=np.intp)
+        matrix = self.node_latency_matrix()[np.ix_(ranks, ranks)]
+        np.fill_diagonal(matrix, 0.0)
         return matrix
 
     def gap_matrix(self, mapping: Sequence[int]) -> np.ndarray:
         """``P × P`` per-byte gap matrix for a process mapping."""
-        mapping = self._check_mapping(mapping)
-        nranks = len(mapping)
-        matrix = np.zeros((nranks, nranks), dtype=np.float64)
-        for i in range(nranks):
-            for j in range(i + 1, nranks):
-                value = self.node_gap(mapping[i], mapping[j])
-                matrix[i, j] = value
-                matrix[j, i] = value
+        ranks = np.asarray(self._check_mapping(mapping), dtype=np.intp)
+        matrix = self.node_gap_matrix()[np.ix_(ranks, ranks)]
+        np.fill_diagonal(matrix, 0.0)
         return matrix
 
     def _check_mapping(self, mapping: Sequence[int]) -> list[int]:

@@ -1,12 +1,13 @@
 """Rank placement (Appendix J of the paper)."""
 
-from .algorithm import PlacementResult, llamp_placement, predicted_runtime
+from .algorithm import PlacementResult, llamp_placement, predicted_runtime, swap_gain_matrix
 from .baselines import volume_greedy_placement, communication_volume_matrix
 
 __all__ = [
     "PlacementResult",
     "llamp_placement",
     "predicted_runtime",
+    "swap_gain_matrix",
     "volume_greedy_placement",
     "communication_volume_matrix",
 ]

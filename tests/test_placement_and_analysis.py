@@ -205,3 +205,22 @@ class TestCLI:
     def test_ring_allreduce_option(self, capsys):
         assert cli_main(["analyze", "icon", "--nranks", "4", "--allreduce", "ring",
                          "--json"]) == 0
+
+    def test_place_json(self, capsys):
+        import json
+
+        assert cli_main(["place", "lulesh", "--nranks", "4", "--nodes", "2",
+                         "--initial", "round_robin", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["mapping"]) == 4
+        assert payload["lp_reassemblies"] == 0
+        assert payload["predicted_runtime_us"] <= payload["initial_runtime_us"] * (1 + 1e-9)
+
+    def test_place_human(self, capsys):
+        assert cli_main(["place", "icon", "--nranks", "4", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "refined mapping" in out and "LP solves" in out
+
+    def test_place_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            cli_main(["place", "lulesh", "--nranks", "2", "--backend", "nope"])
