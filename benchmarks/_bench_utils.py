@@ -1,12 +1,20 @@
-"""Shared printing helpers for the benchmark harnesses.
+"""Shared printing/recording helpers for the benchmark harnesses.
 
 Kept out of ``conftest.py`` on purpose: ``conftest`` is not a safe import
 target (both ``tests/`` and ``benchmarks/`` have one, and whichever pytest
 loads first wins the ``conftest`` module name).  Benchmark modules import
 from ``_bench_utils`` instead, which is unique on ``sys.path``.
+
+Every benchmark records its headline numbers with :func:`emit_json`, which
+writes ``BENCH_<name>.json`` (to ``$BENCH_OUTPUT_DIR``, default the current
+working directory) so the performance trajectory is machine-readable across
+PRs and CI runs.
 """
 
 from __future__ import annotations
+
+import json
+import os
 
 
 def print_header(title: str) -> None:
@@ -28,3 +36,33 @@ def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)
+
+
+def _json_default(value):
+    """Coerce NumPy scalars/arrays so benchmark payloads serialise as-is."""
+    import numpy as np
+
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"cannot serialise {type(value).__name__} in a benchmark record")
+
+
+def emit_json(name: str, payload) -> str:
+    """Write the machine-readable record ``BENCH_<name>.json`` and return its path.
+
+    ``payload`` is any JSON-serialisable structure (NumPy scalars and arrays
+    are coerced); ``$BENCH_OUTPUT_DIR`` overrides the output directory.
+    """
+    out_dir = os.environ.get("BENCH_OUTPUT_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump({"bench": name, "results": payload}, fh, indent=2,
+                  default=_json_default)
+        fh.write("\n")
+    print(f"[bench] wrote {path}")
+    return path

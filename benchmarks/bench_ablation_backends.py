@@ -22,7 +22,7 @@ from repro import CSCS_TESTBED
 from repro.apps import lulesh
 from repro.core import analyze_critical_path, build_lp, parametric_analysis
 
-from _bench_utils import print_header, print_rows
+from _bench_utils import emit_json, print_header, print_rows
 
 DELTAS = [0.0, 20.0, 60.0]
 
@@ -63,6 +63,8 @@ def test_ablation_backends(run_once):
     print_rows(["method", "sweep time [s]"] + [f"T(ΔL={d:.0f}) [µs]" for d in DELTAS],
                [[name, timings[name]] + list(values[name]) for name in values])
 
+    emit_json("ablation_backends", {"timings_s": timings, "values_us": values})
+
     reference = values["highs"]
     for name, series in values.items():
         assert np.allclose(series, reference, rtol=1e-6), name
@@ -93,6 +95,8 @@ def test_ablation_protocol(run_once):
     print_header("Ablation — eager vs rendezvous protocol threshold (LAMMPS, 4 ranks)")
     print_rows(["protocol", "messages", "runtime [s]", "λ_L"],
                [[k, v["messages"], v["runtime"] / 1e6, v["lambda"]] for k, v in results.items()])
+
+    emit_json("ablation_protocol", results)
 
     eager = results["eager (S=256 KiB)"]
     rdv = results["rendezvous (S=1 KiB)"]

@@ -24,7 +24,7 @@ from repro.core import BatchedSweep, build_lp
 from repro.network.params import LogGPSParams
 from repro.testing import build_running_example
 
-from _bench_utils import print_header, print_rows
+from _bench_utils import emit_json, print_header, print_rows
 
 POINTS = 100
 PAPER_PARAMS = LogGPSParams(L=0.0, o=0.0, g=0.0, G=0.005, S=256 * 1024, P=2)
@@ -82,6 +82,8 @@ def test_batched_sweep_speedup(run_once):
             for name, r in results.items()
         ],
     )
+
+    emit_json("batched_sweep", results)
 
     toy = results["running example (Fig. 4)"]
     assert toy["max_diff"] < 1e-6

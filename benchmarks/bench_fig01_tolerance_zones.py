@@ -16,7 +16,7 @@ from repro import CSCS_TESTBED
 from repro.analysis import run_validation_sweep
 from repro.apps import icon, lulesh, milc
 
-from _bench_utils import print_header, print_rows
+from _bench_utils import emit_json, print_header, print_rows
 
 NRANKS = 8
 CONFIGS = {
@@ -63,6 +63,16 @@ def test_fig01_tolerance_zones(run_once):
             [[r["delta_L_us"], r["measured_us"] / 1e6, r["predicted_us"] / 1e6]
              for r in sweep.rows()],
         )
+
+    emit_json("fig01_tolerance_zones", {
+        name: {
+            "tol1_us": sweep.tolerance.delta_tolerance(0.01),
+            "tol2_us": sweep.tolerance.delta_tolerance(0.02),
+            "tol5_us": sweep.tolerance.delta_tolerance(0.05),
+            "rrmse": sweep.rrmse,
+        }
+        for name, sweep in results.items()
+    })
 
     tol = {name: sweep.tolerance.delta_tolerance(0.01) for name, sweep in results.items()}
     # the paper's ordering: MILC << LULESH << ICON

@@ -18,7 +18,7 @@ from repro.core import build_lp, find_critical_latencies, parametric_analysis
 from repro.network.params import LogGPSParams
 from repro.schedgen.graph import GraphBuilder
 
-from _bench_utils import print_header, print_rows
+from _bench_utils import emit_json, print_header, print_rows
 
 PARAMS = LogGPSParams(L=0.0, o=0.0, g=0.0, G=0.005, S=256 * 1024, P=2)
 
@@ -74,6 +74,8 @@ def test_fig04_running_example(run_once):
     ])
     print("\nT(L) and λ_L(L) from the parametric engine:")
     print_rows(["L [µs]", "T [µs]", "λ_L"], [list(row) for row in out["T_curve"]])
+
+    emit_json("fig04_running_example", out)
 
     assert out["late_T0"] == pytest.approx(2.015)
     assert out["late_lambda"] == pytest.approx(1.0)

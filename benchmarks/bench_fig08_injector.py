@@ -17,7 +17,7 @@ from repro.mpi import run_program
 from repro.schedgen import build_graph
 from repro.simulator import INJECTOR_NAMES, make_injector, simulate, two_message_model
 
-from _bench_utils import print_header, print_rows
+from _bench_utils import emit_json, print_header, print_rows
 
 DELTAS = [0.0, 5.0, 20.0, 50.0]
 
@@ -62,6 +62,17 @@ def test_fig08_injector_strategies(run_once):
     for delta in DELTAS:
         rows.append([delta] + [simulated[(name, delta)] for name in INJECTOR_NAMES])
     print_rows(["ΔL [µs]"] + list(INJECTOR_NAMES), rows)
+
+    emit_json("fig08_injector", {
+        "receiver_finish_us": {
+            f"{name}@{delta}": analytic[(name, delta)].receiver_finish
+            for name in INJECTOR_NAMES for delta in DELTAS
+        },
+        "simulated_makespan_us": {
+            f"{name}@{delta}": simulated[(name, delta)]
+            for name in INJECTOR_NAMES for delta in DELTAS
+        },
+    })
 
     for delta in DELTAS:
         ideal = analytic[("ideal", delta)]

@@ -15,7 +15,7 @@ from repro import CSCS_TESTBED
 from repro.analysis import run_validation_sweep
 from repro.apps import hpcg, icon, lulesh, milc
 
-from _bench_utils import print_header, print_rows
+from _bench_utils import emit_json, print_header, print_rows
 
 SCALES = (8, 16)
 CONFIGS = {
@@ -60,6 +60,17 @@ def test_fig09_validation(run_once):
             [[r["delta_L_us"], r["measured_us"] / 1e6, r["predicted_us"] / 1e6,
               r["lambda_L"], r["rho_L"] * 100] for r in sweep.rows()],
         )
+
+    emit_json("fig09_validation", [
+        {
+            "app": name,
+            "nranks": nranks,
+            "events": sweep.num_events,
+            "rrmse": sweep.rrmse,
+            "tol1_us": sweep.tolerance.delta_tolerance(0.01),
+        }
+        for (name, nranks), sweep in sweeps.items()
+    ])
 
     for (name, nranks), sweep in sweeps.items():
         # headline accuracy claim

@@ -14,7 +14,7 @@ from repro import CSCS_TESTBED, LatencyAnalyzer
 from repro.apps import icon
 from repro.schedgen import CollectiveAlgorithms
 
-from _bench_utils import print_header, print_rows
+from _bench_utils import emit_json, print_header, print_rows
 
 SCALES = (8, 16)
 STEPS = 8
@@ -55,6 +55,10 @@ def test_fig10_collective_algorithms(run_once):
         ])
     print_rows(["ranks", "allreduce", "1% tol [µs]", "5% tol [µs]",
                 "λ_L(ΔL=0)", f"λ_L(ΔL={DELTAS[-1]:.0f})", "ρ_L at max ΔL [%]"], rows)
+
+    emit_json("fig10_collectives", {
+        f"{nranks}/{algorithm}": data for (nranks, algorithm), data in results.items()
+    })
 
     for nranks in SCALES:
         rd = results[(nranks, "recursive_doubling")]

@@ -17,7 +17,7 @@ from repro.apps import icon
 from repro.network import Dragonfly, FatTree, WireLatencyModel
 from repro.network.topology import DEFAULT_SWITCH_LATENCY, DEFAULT_WIRE_LATENCY
 
-from _bench_utils import print_header, print_rows
+from _bench_utils import emit_json, print_header, print_rows
 
 NRANKS = 16
 STEPS = 8
@@ -75,6 +75,8 @@ def test_fig11_topologies(run_once):
         [[name, results[name]["avg_hops"], results[name]["wire_tolerance_ns"]]
          for name in TOPOLOGIES],
     )
+
+    emit_json("fig11_topologies", results)
 
     ft = results["Fat Tree (k=16)"]
     df = results["Dragonfly (8,4,8)"]

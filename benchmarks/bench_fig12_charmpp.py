@@ -17,7 +17,7 @@ from repro import CSCS_TESTBED, LatencyAnalyzer
 from repro.apps import namd
 from repro.simulator import simulate
 
-from _bench_utils import print_header, print_rows
+from _bench_utils import emit_json, print_header, print_rows
 
 NRANKS = 8
 STEPS = 20
@@ -61,6 +61,10 @@ def test_fig12_charmpp_adaptation(run_once):
     print("\nslowdown at ΔL = 200 µs relative to ΔL = 0, per recording point:")
     print_rows(["recorded at [µs]", "slowdown"],
                [[r, slowdowns[r]] for r in RECORDED_AT])
+
+    emit_json("fig12_charmpp", {
+        f"trace@{recorded}": data for recorded, data in results.items()
+    })
 
     # the schedule recorded under higher latency hides more of it
     assert slowdowns[RECORDED_AT[2]] < slowdowns[RECORDED_AT[1]] < slowdowns[RECORDED_AT[0]]

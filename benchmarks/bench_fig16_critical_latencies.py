@@ -17,7 +17,7 @@ from repro.apps import lulesh
 from repro.core import build_lp, find_critical_latencies, parametric_analysis
 from repro.core.critical_latency import critical_latency_curve
 
-from _bench_utils import print_header, print_rows
+from _bench_utils import emit_json, print_header, print_rows
 
 NRANKS = 8
 ITERATIONS = 4
@@ -44,6 +44,13 @@ def test_fig16_critical_latencies(run_once):
     print("\nλ_L per segment (probed at segment mid-points):")
     print_rows(["segment mid L [µs]", "T [µs]", "λ_L"],
                [[t.L, t.value, t.slope] for t in tangents])
+
+    emit_json("fig16_critical_latencies", {
+        "lp_breakpoints_us": list(lp_breakpoints),
+        "exact_breakpoints_us": list(exact_breakpoints),
+        "segments": [{"L_us": t.L, "T_us": t.value, "lambda_L": t.slope}
+                     for t in tangents],
+    })
 
     # every breakpoint the LP search reports must be a genuine breakpoint of
     # the exact envelope (the envelope may additionally contain breakpoints

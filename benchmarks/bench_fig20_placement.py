@@ -16,7 +16,7 @@ from repro.apps import icon
 from repro.network import ArchitectureGraph, block_mapping
 from repro.placement import llamp_placement, predicted_runtime, volume_greedy_placement
 
-from _bench_utils import print_header, print_rows
+from _bench_utils import emit_json, print_header, print_rows
 
 NRANKS = 8
 NODES = 4
@@ -58,6 +58,14 @@ def test_fig20_rank_placement(run_once):
     print(f"block mapping      : {block}")
     print(f"LLAMP mapping      : {llamp.mapping}")
     print(f"volume-greedy map  : {scotch_like}")
+
+    emit_json("fig20_placement", {
+        "runtimes_us": runtimes,
+        "llamp_mapping": list(llamp.mapping),
+        "block_mapping": list(block),
+        "volume_greedy_mapping": list(scotch_like),
+        "swaps": [list(swap) for swap in llamp.swaps],
+    })
 
     # the LLAMP placement never degrades the predicted runtime …
     assert runtimes["LLAMP (Alg. 3)"] <= baseline * (1 + 1e-9)

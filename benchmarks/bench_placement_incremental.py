@@ -22,7 +22,7 @@ from repro.placement import llamp_placement
 from repro.placement.algorithm import _swap_gain
 from repro.testing import build_random_dag
 
-from _bench_utils import print_header, print_rows
+from _bench_utils import emit_json, print_header, print_rows
 
 NRANKS = 64
 NODES = 16
@@ -119,6 +119,16 @@ def test_placement_incremental_vs_cold(run_once):
           f"initial mapping in {incremental.iterations} iterations")
     print(f"LP solves            : {incremental.num_lp_solves} on one assembled model "
           f"({incremental.num_reassemblies} re-assemblies)")
+
+    emit_json("placement_incremental", {
+        "cold_s": cold_s,
+        "incremental_s": incremental_s,
+        "speedup": speedup,
+        "swaps": len(incremental.swaps),
+        "lp_solves": incremental.num_lp_solves,
+        "reassemblies": incremental.num_reassemblies,
+        "predicted_runtime_us": incremental.predicted_runtime,
+    })
 
     # identical trajectory: same final mapping, runtime and swap sequence
     assert incremental.mapping == cold_mapping

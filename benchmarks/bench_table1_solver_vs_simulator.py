@@ -24,7 +24,7 @@ from repro.apps import lammps, lulesh, npb
 from repro.core.lp_builder import build_lp
 from repro.simulator import simulate
 
-from _bench_utils import print_header, print_rows
+from _bench_utils import emit_json, print_header, print_rows
 
 NRANKS = 8
 SWEEP = [3.0 + i for i in range(0, 11, 2)]  # 3..13 µs, 2 µs steps (scaled down)
@@ -88,6 +88,8 @@ def test_table1_solver_vs_simulator(run_once):
     per_million = [r["build_s"] / max(r["events"], 1) * 1e6 for r in rows]
     print(f"\nLP generation overhead: {np.mean(per_million):.1f} s per million vertices "
           "(paper: < 15 s per million, Appendix E)")
+
+    emit_json("table1_solver_vs_simulator", rows)
 
     # both pipelines must agree on the predicted runtimes (same model)
     for r in rows:

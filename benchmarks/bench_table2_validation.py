@@ -14,7 +14,7 @@ from repro import CSCS_TESTBED
 from repro.analysis import run_validation_sweep
 from repro.apps import VALIDATION_APPS
 
-from _bench_utils import print_header, print_rows
+from _bench_utils import emit_json, print_header, print_rows
 
 NRANKS = 8
 KNOBS = {
@@ -58,6 +58,16 @@ def test_table2_validation(run_once):
             sweep.rrmse * 100.0,
         ])
     print_rows(["application", "o [µs]", "events", "RMSE [s]", "RRMSE %"], rows)
+
+    emit_json("table2_validation", {
+        name: {
+            "overhead_us": PAPER_OVERHEADS[name],
+            "events": sweep.num_events,
+            "rmse_us": sweep.rmse,
+            "rrmse": sweep.rrmse,
+        }
+        for name, sweep in results.items()
+    })
 
     for name, sweep in results.items():
         assert sweep.rrmse < 0.02, (name, sweep.rrmse)

@@ -65,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-message CPU overhead o in µs (default: %(default)s)")
     parser.add_argument("--gap", type=float, default=CSCS_TESTBED.G,
                         help="per-byte gap G in µs/byte (default: %(default)s)")
+    parser.add_argument("--lp-engine", default="auto",
+                        choices=("auto", "symbolic", "compiled"),
+                        help="graph→LP construction engine: the per-vertex symbolic "
+                             "sweep or the vectorised compiler (default: %(default)s, "
+                             "compiled for large graphs)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_app_args(p: argparse.ArgumentParser) -> None:
@@ -125,7 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     params = _params_from_args(args)
     graph = _app_graph(args, params)
-    analyzer = LatencyAnalyzer(graph, params)
+    analyzer = LatencyAnalyzer(graph, params, lp_engine=args.lp_engine)
     summary = analyzer.summary()
     if args.json:
         print(json.dumps(summary, indent=2))
@@ -145,7 +150,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     params = _params_from_args(args)
     graph = _app_graph(args, params)
     deltas = np.linspace(0.0, args.max_delta, args.points)
-    sweep = run_validation_sweep(graph, params, app=args.app, delta_Ls=deltas)
+    sweep = run_validation_sweep(
+        graph, params, app=args.app, delta_Ls=deltas, lp_engine=args.lp_engine
+    )
     print(f"{'ΔL [µs]':>10s} {'measured [s]':>14s} {'predicted [s]':>14s} {'λ_L':>10s} {'ρ_L':>8s}")
     for row in sweep.rows():
         print(
@@ -170,7 +177,9 @@ def _cmd_curve(args: argparse.Namespace) -> int:
             f"--l-max ({args.l_max} µs) must exceed the base latency ({params.L} µs)"
         )
     graph = _app_graph(args, params)
-    analyzer = LatencyAnalyzer(graph, params, backend=args.backend)
+    analyzer = LatencyAnalyzer(
+        graph, params, backend=args.backend, lp_engine=args.lp_engine
+    )
     sweep = analyzer.batched_sweep(l_max=args.l_max)
     Ls = np.linspace(params.L, args.l_max, args.points)
     values = sweep.values(Ls)
@@ -236,7 +245,10 @@ def _cmd_place(args: argparse.Namespace) -> int:
     from .core.lp_builder import build_lp
 
     # one per-pair LP shared by the search and both baseline evaluations
-    graph_lp = build_lp(graph, params, latency_mode="per_pair", gap_mode="per_pair")
+    graph_lp = build_lp(
+        graph, params, latency_mode="per_pair", gap_mode="per_pair",
+        engine=args.lp_engine,
+    )
     result = llamp_placement(
         graph, params, arch,
         initial_mapping=initial,

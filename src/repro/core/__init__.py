@@ -3,7 +3,7 @@
 from .analyzer import LatencyAnalyzer, SensitivityCurve, ToleranceReport
 from .critical_latency import Tangent, critical_latency_curve, find_critical_latencies
 from .graph_analysis import CriticalPathResult, analyze_critical_path, forward_pass
-from .lp_builder import GraphLP, build_lp
+from .lp_builder import COMPILED_ENGINE_THRESHOLD, GraphLP, build_lp
 from .parametric import (
     BatchedSweep,
     EnvelopeOverflowError,
@@ -20,6 +20,7 @@ __all__ = [
     "ToleranceReport",
     "GraphLP",
     "build_lp",
+    "COMPILED_ENGINE_THRESHOLD",
     "CriticalPathResult",
     "analyze_critical_path",
     "forward_pass",

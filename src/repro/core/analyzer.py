@@ -96,11 +96,13 @@ class LatencyAnalyzer:
         *,
         backend: str = "highs",
         gap_symbolic: bool = False,
+        lp_engine: str = "auto",
     ) -> None:
         self.graph = graph
         self.params = params
         self.backend = backend
         self._gap_symbolic = gap_symbolic
+        self.lp_engine = lp_engine
         self._lp: GraphLP | None = None
         self._baseline_runtime: float | None = None
 
@@ -115,6 +117,7 @@ class LatencyAnalyzer:
                 self.params,
                 latency_mode="global",
                 gap_mode="global" if self._gap_symbolic else "constant",
+                engine=self.lp_engine,
             )
         return self._lp
 

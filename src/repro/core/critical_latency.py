@@ -23,9 +23,32 @@ Both functions here are thin wrappers; the search itself lives in
 from __future__ import annotations
 
 from ..lp.parametric import Tangent, TangentEnvelope
-from .lp_builder import GraphLP
+from ..network.params import LogGPSParams
+from ..schedgen.graph import ExecutionGraph
+from .lp_builder import GraphLP, build_lp
 
 __all__ = ["Tangent", "find_critical_latencies", "critical_latency_curve"]
+
+
+def _as_graph_lp(
+    graph_lp: GraphLP | ExecutionGraph,
+    params: LogGPSParams | None,
+    engine: str,
+) -> GraphLP:
+    """Accept either a prebuilt :class:`GraphLP` or a raw execution graph.
+
+    Passing an :class:`ExecutionGraph` (plus ``params``) builds the LP on the
+    fly through the selected construction ``engine`` — the knob that picks
+    between the symbolic per-vertex sweep and the vectorised compiler of
+    :mod:`repro.lp.compiler`.
+    """
+    if isinstance(graph_lp, ExecutionGraph):
+        if params is None:
+            raise ValueError(
+                "passing an ExecutionGraph requires the params= keyword"
+            )
+        return build_lp(graph_lp, params, latency_mode="global", engine=engine)
+    return graph_lp
 
 
 def _collect_breakpoints(result: TangentEnvelope, step: float | None) -> list[float]:
@@ -40,33 +63,40 @@ def _collect_breakpoints(result: TangentEnvelope, step: float | None) -> list[fl
 
 
 def find_critical_latencies(
-    graph_lp: GraphLP,
+    graph_lp: GraphLP | ExecutionGraph,
     l_min: float,
     l_max: float,
     *,
     backend: str = "highs",
     step: float | None = None,
     max_solves: int = 10_000,
+    params: LogGPSParams | None = None,
+    engine: str = "auto",
 ) -> list[float]:
     """All critical latencies of ``graph_lp`` inside ``[l_min, l_max]``.
 
     ``step``, when given, coalesces breakpoints closer than ``step`` (the
     resolution knob of the paper's Algorithm 2); ``max_solves`` bounds the
-    number of LP solves.
+    number of LP solves.  ``graph_lp`` may also be a raw
+    :class:`~repro.schedgen.graph.ExecutionGraph` together with ``params=``;
+    the LP is then built through the selected construction ``engine``.
     """
     if l_min < 0 or l_max <= l_min:
         raise ValueError(f"invalid latency interval [{l_min}, {l_max}]")
+    graph_lp = _as_graph_lp(graph_lp, params, engine)
     result = graph_lp.tangent_envelope(l_min, l_max, backend=backend, max_solves=max_solves)
     return _collect_breakpoints(result, step)
 
 
 def critical_latency_curve(
-    graph_lp: GraphLP,
+    graph_lp: GraphLP | ExecutionGraph,
     l_min: float,
     l_max: float,
     *,
     backend: str = "highs",
     max_solves: int = 10_000,
+    params: LogGPSParams | None = None,
+    engine: str = "auto",
 ) -> list[Tangent]:
     """Tangents of ``T(L)`` on every linear segment of ``[l_min, l_max]``.
 
@@ -74,10 +104,12 @@ def critical_latency_curve(
     mid-point), which is enough to reconstruct the exact ``T(L)`` curve and
     the step function ``λ_L(L)`` over the interval.  The segment tangents are
     served from the cache of the single envelope search — no additional LP
-    solves at the segment mid-points.
+    solves at the segment mid-points.  Accepts a raw execution graph (plus
+    ``params=`` / ``engine=``) like :func:`find_critical_latencies`.
     """
     if l_min < 0 or l_max <= l_min:
         raise ValueError(f"invalid latency interval [{l_min}, {l_max}]")
+    graph_lp = _as_graph_lp(graph_lp, params, engine)
     result = graph_lp.tangent_envelope(l_min, l_max, backend=backend, max_solves=max_solves)
     points = _collect_breakpoints(result, None)
     boundaries = [l_min, *points, l_max]

@@ -38,7 +38,13 @@ from ..lp.model import Constraint, LinearExpr, LPModel, LPSolution, Sense, Varia
 from ..network.params import LogGPSParams
 from ..schedgen.graph import EdgeKind, ExecutionGraph, VertexKind
 
-__all__ = ["GraphLP", "build_lp"]
+__all__ = ["GraphLP", "build_lp", "COMPILED_ENGINE_THRESHOLD"]
+
+#: Graph size (vertices) above which ``engine="auto"`` picks the vectorised
+#: compiler.  The measured crossover is ≈ 40 vertices; the threshold sits
+#: deliberately above it so toy graphs keep the simpler symbolic path even
+#: on slower hardware (both engines are < 1 ms there either way).
+COMPILED_ENGINE_THRESHOLD = 64
 
 
 def _pair_key(i: int, j: int) -> tuple[int, int]:
@@ -78,8 +84,14 @@ class GraphLP:
     overhead: Variable | None = None
     pair_latency: dict[tuple[int, int], Variable] = field(default_factory=dict)
     pair_gap: dict[tuple[int, int], Variable] = field(default_factory=dict)
-    sink_constraints: list[Constraint] = field(default_factory=list)
+    sink_rows: list[int] = field(default_factory=list)
     num_messages: int = 0
+
+    @property
+    def sink_constraints(self) -> list[Constraint]:
+        """The ``t >= completion(sink)`` rows (materialised on demand)."""
+        constraints = self.model.constraints
+        return [constraints[index] for index in self.sink_rows]
 
     # -- bound management -----------------------------------------------------
 
@@ -255,6 +267,7 @@ def build_lp(
     gap_mode: str = "constant",
     overhead_mode: str = "constant",
     name: str = "llamp",
+    engine: str = "auto",
 ) -> GraphLP:
     """Convert ``graph`` into a :class:`GraphLP` under configuration ``params``.
 
@@ -271,6 +284,12 @@ def build_lp(
     overhead_mode:
         ``"constant"`` (default) or ``"global"`` for the per-message CPU
         overhead ``o``.
+    engine:
+        ``"symbolic"`` — the per-vertex topological sweep (Algorithm 1 as
+        written in the paper); ``"compiled"`` — the vectorised lowering of
+        :mod:`repro.lp.compiler`, which emits the same LP structure directly
+        as CSR arrays; ``"auto"`` (default) — compiled for graphs with at
+        least :data:`COMPILED_ENGINE_THRESHOLD` vertices, symbolic below.
     """
     if latency_mode not in ("global", "per_pair", "constant"):
         raise ValueError(f"unknown latency_mode {latency_mode!r}")
@@ -278,6 +297,39 @@ def build_lp(
         raise ValueError(f"unknown gap_mode {gap_mode!r}")
     if overhead_mode not in ("constant", "global"):
         raise ValueError(f"unknown overhead_mode {overhead_mode!r}")
+    if engine not in ("auto", "symbolic", "compiled"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine == "auto":
+        engine = (
+            "compiled"
+            if graph.num_vertices >= COMPILED_ENGINE_THRESHOLD
+            else "symbolic"
+        )
+
+    if engine == "compiled":
+        from ..lp.compiler import compile_lp
+
+        compiled = compile_lp(
+            graph,
+            params,
+            latency_mode=latency_mode,
+            gap_mode=gap_mode,
+            overhead_mode=overhead_mode,
+            name=name,
+        )
+        return GraphLP(
+            model=compiled.model,
+            graph=graph,
+            params=params,
+            t=compiled.t,
+            latency=compiled.latency,
+            gap=compiled.gap,
+            overhead=compiled.overhead,
+            pair_latency=compiled.pair_latency,
+            pair_gap=compiled.pair_gap,
+            sink_rows=compiled.sink_rows,
+            num_messages=compiled.num_messages,
+        )
 
     model = LPModel(name=name)
     t_var = model.add_var("t", lb=0.0)
@@ -363,10 +415,10 @@ def build_lp(
                 model.add_constraint(y.to_expr() >= contribution)
             completion[v] = y.to_expr() + vertex_cost(v)
 
-    sink_constraints = []
+    sink_rows = []
     for sink in graph.sinks():
         constraint = model.add_constraint(t_var.to_expr() >= completion[int(sink)])
-        sink_constraints.append(constraint)
+        sink_rows.append(constraint.index)
 
     model.set_objective(t_var, Sense.MIN)
 
@@ -380,6 +432,6 @@ def build_lp(
         overhead=overhead_var,
         pair_latency=pair_latency,
         pair_gap=pair_gap,
-        sink_constraints=sink_constraints,
+        sink_rows=sink_rows,
         num_messages=num_messages,
     )

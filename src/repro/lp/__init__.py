@@ -1,7 +1,8 @@
 """Linear programming layer: modelling objects and interchangeable backends."""
 
-from .assembler import AssembledLP, assemble
+from .assembler import AssembledLP, assemble, assemble_rows
 from .backends import BackendRegistry, BackendSpec, auto_backend_choice, default_registry
+from .compiler import CompiledLP, compile_lp
 from .parametric import EnvelopeOverflowError, ParametricLP, Tangent, TangentEnvelope
 from .model import (
     Constraint,
@@ -34,6 +35,9 @@ __all__ = [
     "SimplexOptions",
     "AssembledLP",
     "assemble",
+    "assemble_rows",
+    "CompiledLP",
+    "compile_lp",
     "ParametricLP",
     "Tangent",
     "TangentEnvelope",

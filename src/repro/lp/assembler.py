@@ -30,7 +30,7 @@ from scipy import sparse
 
 from .model import LPModel, Sense
 
-__all__ = ["AssembledLP", "assemble"]
+__all__ = ["AssembledLP", "assemble", "assemble_rows"]
 
 
 @dataclass
@@ -116,6 +116,55 @@ def _full_assembly(model: LPModel) -> AssembledLP:
         objective_version=-1,
     )
     _refresh_bounds(assembled, model)
+    _refresh_objective(assembled, model)
+    return assembled
+
+
+def assemble_rows(
+    model: LPModel,
+    rows,
+    *,
+    lb: np.ndarray | None = None,
+    ub: np.ndarray | None = None,
+) -> AssembledLP:
+    """Lower pre-vectorised constraint rows straight into an :class:`AssembledLP`.
+
+    ``rows`` is a :class:`repro.lp.model._DeferredRows`-shaped object holding
+    the constraint expressions in CSR layout (``expr {>=,<=} 0``).  Used by
+    :meth:`repro.lp.model.LPModel.from_arrays` to pre-populate the assembled
+    cache so the first solve of a compiled model performs no Python-level
+    lowering at all.  The canonical standard form matches
+    :func:`_full_assembly` exactly: ``expr >= 0`` becomes ``-coeffs x <=
+    const`` and ``expr <= 0`` becomes ``coeffs x <= -const``.  ``lb``/``ub``,
+    when given, are adopted directly instead of re-gathered from the
+    ``Variable`` objects (they must match the model's current bounds).
+    """
+    n = model.num_vars
+    m = len(rows)
+    sign = -1.0 if rows.sense == ">=" else 1.0
+    A_ub = None
+    if m:
+        A_ub = sparse.csr_matrix(
+            (sign * rows.vals, rows.cols, rows.indptr), shape=(m, n), dtype=np.float64
+        )
+    assembled = AssembledLP(
+        c=np.zeros(n, dtype=np.float64),
+        A_ub=A_ub,
+        b_ub=-sign * rows.consts,
+        lb=np.zeros(n, dtype=np.float64),
+        ub=np.zeros(n, dtype=np.float64),
+        obj_const=0.0,
+        obj_sign=1.0,
+        structure_version=model.structure_version,
+        bounds_version=-1,
+        objective_version=-1,
+    )
+    if lb is not None and ub is not None:
+        assembled.lb = np.asarray(lb, dtype=np.float64)
+        assembled.ub = np.asarray(ub, dtype=np.float64)
+        assembled.bounds_version = model.bounds_version
+    else:
+        _refresh_bounds(assembled, model)
     _refresh_objective(assembled, model)
     return assembled
 

@@ -217,6 +217,56 @@ class Constraint:
         return value if self.sense == ">=" else -value
 
 
+class _DeferredRows:
+    """Constraint rows kept in CSR-style arrays until something needs objects.
+
+    Models built through :meth:`LPModel.from_arrays` ship their rows as
+    ``(indptr, cols, vals, consts)`` describing expressions ``expr_i`` with
+    ``expr_i >= 0`` (or ``<= 0``).  The solver hot path never touches
+    :class:`Constraint` objects (backends consume the pre-populated assembled
+    cache), so materialisation is deferred until the first structural
+    mutation or introspection (``tight_constraints``, ``add_le``, …).
+    """
+
+    __slots__ = ("indptr", "cols", "vals", "consts", "sense")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        consts: np.ndarray,
+        sense: str = ">=",
+    ) -> None:
+        if sense not in (">=", "<="):
+            raise ValueError(f"row sense must be '>=' or '<=', got {sense!r}")
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.cols = np.asarray(cols, dtype=np.int64)
+        self.vals = np.asarray(vals, dtype=np.float64)
+        self.consts = np.asarray(consts, dtype=np.float64)
+        self.sense = sense
+
+    def __len__(self) -> int:
+        return len(self.indptr) - 1
+
+    def materialise(self) -> list[Constraint]:
+        """Expand every row into a real :class:`Constraint` (one-time cost)."""
+        indptr = self.indptr.tolist()
+        cols = self.cols.tolist()
+        vals = self.vals.tolist()
+        consts = self.consts.tolist()
+        constraints = []
+        for i in range(len(self)):
+            lo, hi = indptr[i], indptr[i + 1]
+            constraint = Constraint(
+                LinearExpr(dict(zip(cols[lo:hi], vals[lo:hi])), consts[i]),
+                self.sense,
+            )
+            constraint.index = i
+            constraints.append(constraint)
+        return constraints
+
+
 class LPModel:
     """A linear program: variables, constraints, objective."""
 
@@ -227,7 +277,8 @@ class LPModel:
         self._id = LPModel._next_model_id
         LPModel._next_model_id += 1
         self.variables: list[Variable] = []
-        self.constraints: list[Constraint] = []
+        self._constraints: list[Constraint] = []
+        self._deferred_rows: _DeferredRows | None = None
         self.objective: LinearExpr = LinearExpr()
         self.sense: Sense = Sense.MIN
         # Revision counters consumed by :mod:`repro.lp.assembler` to decide
@@ -238,6 +289,80 @@ class LPModel:
         self._assembled_cache: object | None = None
 
     # -- construction ----------------------------------------------------------
+
+    @property
+    def constraints(self) -> list[Constraint]:
+        """The constraint list (materialised on first access for array models)."""
+        if self._deferred_rows is not None:
+            self._constraints = self._deferred_rows.materialise()
+            self._deferred_rows = None
+        return self._constraints
+
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        name: str = "lp",
+        var_names: Sequence[str],
+        lb: Sequence[float] | np.ndarray,
+        ub: Sequence[float] | np.ndarray | None = None,
+        row_indptr: np.ndarray,
+        row_cols: np.ndarray,
+        row_vals: np.ndarray,
+        row_consts: np.ndarray,
+        row_sense: str = ">=",
+    ) -> "LPModel":
+        """Construct a model directly from pre-lowered arrays.
+
+        ``row_*`` describe the constraint expressions in CSR layout: row ``i``
+        is ``sum(row_vals[k] * x[row_cols[k]]) + row_consts[i] {>=,<=} 0`` for
+        ``k`` in ``[row_indptr[i], row_indptr[i+1])``.  Column indices must be
+        unique and sorted within each row, with no explicit zeros — the same
+        canonical form the incremental assembler produces from dict-backed
+        constraints.
+
+        The returned model satisfies the full revision-counter protocol: its
+        assembled cache is pre-populated (so the first solve performs no
+        Python-level lowering), bound/objective updates refresh the cached
+        vectors in place, and any structural mutation (``add_constraint`` /
+        ``pop_constraint``) materialises real :class:`Constraint` objects and
+        falls back to the ordinary re-assembly path.
+        """
+        lb = np.asarray(lb, dtype=np.float64)
+        ub = (
+            np.full(len(lb), np.inf, dtype=np.float64)
+            if ub is None
+            else np.asarray(ub, dtype=np.float64)
+        )
+        if not (len(var_names) == len(lb) == len(ub)):
+            raise ValueError("var_names, lb and ub must have matching lengths")
+        if np.any(lb > ub):
+            bad = int(np.flatnonzero(lb > ub)[0])
+            raise ValueError(
+                f"variable {var_names[bad]}: lower bound {lb[bad]} exceeds "
+                f"upper bound {ub[bad]}"
+            )
+        model = cls(name=name)
+        # bulk Variable construction bypassing the frozen-dataclass __init__
+        # (object.__setattr__ per field): this loop is the hot spot of large
+        # compiled builds, and instances are plain-__dict__ objects
+        new = Variable.__new__
+        variables = []
+        for i, (vname, vlb, vub) in enumerate(zip(var_names, lb.tolist(), ub.tolist())):
+            var = new(Variable)
+            var.__dict__.update(
+                model_id=model._id, index=i, name=vname, lb=vlb, ub=vub
+            )
+            variables.append(var)
+        model.variables = variables
+        model._deferred_rows = _DeferredRows(
+            row_indptr, row_cols, row_vals, row_consts, row_sense
+        )
+        model._structure_version = len(model.variables) + len(model._deferred_rows)
+        from .assembler import assemble_rows
+
+        model._assembled_cache = assemble_rows(model, model._deferred_rows, lb=lb, ub=ub)
+        return model
 
     def add_var(
         self, name: str | None = None, lb: float = 0.0, ub: float = float("inf")
@@ -367,7 +492,9 @@ class LPModel:
 
     @property
     def num_constraints(self) -> int:
-        return len(self.constraints)
+        if self._deferred_rows is not None:
+            return len(self._deferred_rows)
+        return len(self._constraints)
 
     @property
     def structure_version(self) -> int:

@@ -241,6 +241,9 @@ class ExecutionGraph:
             edge_dst, edge_src, n
         )
         self._topo_order: np.ndarray | None = None
+        self._topo_positions: np.ndarray | None = None
+        self._chain_parent: np.ndarray | None = None
+        self._chain_in_edge: np.ndarray | None = None
         self._num_edges = m
 
     # -- basic accessors ----------------------------------------------------
@@ -303,13 +306,63 @@ class ExecutionGraph:
 
     def sources(self) -> np.ndarray:
         """Vertices with no predecessors."""
-        indeg = np.diff(self._pred_indptr)
-        return np.flatnonzero(indeg == 0)
+        return np.flatnonzero(self.in_degrees() == 0)
 
     def sinks(self) -> np.ndarray:
         """Vertices with no successors."""
-        outdeg = np.diff(self._succ_indptr)
-        return np.flatnonzero(outdeg == 0)
+        return np.flatnonzero(self.out_degrees() == 0)
+
+    # -- precomputed structural views (consumed by the LP compiler) ----------
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex as one array (no per-vertex calls)."""
+        return np.diff(self._pred_indptr)
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex as one array."""
+        return np.diff(self._succ_indptr)
+
+    def merge_points(self) -> np.ndarray:
+        """Vertices with two or more predecessors (LP merge variables)."""
+        return np.flatnonzero(self.in_degrees() >= 2)
+
+    def chain_parent(self) -> np.ndarray:
+        """The unique predecessor of every single-predecessor vertex, else -1.
+
+        Together with :meth:`chain_in_edge` this describes the in-forest of
+        single-predecessor chain segments whose roots are the sources and
+        merge points; the LP compiler path-compresses costs along it.
+        """
+        if self._chain_parent is None:
+            self._build_chain_views()
+        return self._chain_parent
+
+    def chain_in_edge(self) -> np.ndarray:
+        """Edge id of the unique incoming edge of chain vertices, else -1."""
+        if self._chain_in_edge is None:
+            self._build_chain_views()
+        return self._chain_in_edge
+
+    def _build_chain_views(self) -> None:
+        n = self.num_vertices
+        parent = np.full(n, -1, dtype=np.int64)
+        in_edge = np.full(n, -1, dtype=np.int64)
+        single = np.flatnonzero(self.in_degrees() == 1)
+        if single.size:
+            eids = self._pred_edges[self._pred_indptr[single]]
+            parent[single] = self.edge_src[eids]
+            in_edge[single] = eids
+        self._chain_parent = parent
+        self._chain_in_edge = in_edge
+
+    def topo_positions(self) -> np.ndarray:
+        """Position of every vertex inside :meth:`topological_order` (cached)."""
+        if self._topo_positions is None:
+            order = self.topological_order()
+            positions = np.empty(self.num_vertices, dtype=np.int64)
+            positions[order] = np.arange(self.num_vertices, dtype=np.int64)
+            self._topo_positions = positions
+        return self._topo_positions
 
     # -- algorithms ----------------------------------------------------------
 

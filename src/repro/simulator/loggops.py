@@ -63,27 +63,44 @@ class SimulationResult:
         return self.makespan
 
     def critical_path(self, graph: ExecutionGraph) -> list[int]:
-        """Extract one critical path by backtracking tight predecessors."""
+        """Extract one critical path by backtracking tight predecessors.
+
+        The contribution of a predecessor ``u`` to ``ready(v)`` is ``end(u)``
+        for a dependency edge and ``end(u) + L + (s-1)·G`` for a
+        communication edge — the ideal wire time must be part of the ranking,
+        otherwise a dependency predecessor finishing after ``end(u)`` but
+        before the message's *arrival* would shadow the actually-latest
+        input.  (Injector release policies are stateful and not replayable
+        post-hoc, so their extra delays are not included; under non-ideal
+        injectors the ranking is a close approximation.)
+        """
         if graph.num_vertices != len(self.end):
             raise ValueError("simulation result does not match the given graph")
+        L, G = self.params.L, self.params.G
+        pred_indptr = graph._pred_indptr
+        pred_edges = graph._pred_edges
+        edge_src = graph.edge_src
+        edge_kind = graph.edge_kind
+        size = graph.size
+        comm = int(EdgeKind.COMM)
         v = int(np.argmax(self.end))
         path = [v]
-        eps = 1e-9
         while True:
-            preds = list(graph.in_edges(v))
-            if not preds:
+            start, stop = pred_indptr[v], pred_indptr[v + 1]
+            if start == stop:
                 break
             best_u, best_t = -1, -np.inf
-            for u, _, kind in preds:
+            for pos in range(start, stop):
+                eid = int(pred_edges[pos])
+                u = int(edge_src[eid])
                 # the contribution of u to v's ready time
-                if kind is EdgeKind.DEP:
-                    t = self.end[u]
-                else:
-                    t = self.end[u]  # wire time excluded: enough for tightness ranking
+                t = self.end[u]
+                if edge_kind[eid] == comm:
+                    t += L + max(int(size[v]) - 1, 0) * G
                 if t > best_t:
                     best_t, best_u = t, u
-            # choose the predecessor whose completion is latest; ties resolved
-            # deterministically by vertex id through the iteration order
+            # choose the predecessor whose arrival is latest; ties resolved
+            # deterministically by edge id through the iteration order
             v = best_u
             path.append(v)
         path.reverse()
@@ -91,13 +108,15 @@ class SimulationResult:
 
     def critical_path_messages(self, graph: ExecutionGraph) -> int:
         """Number of communication edges along the extracted critical path."""
-        path = self.critical_path(graph)
-        on_path = set(zip(path, path[1:]))
-        count = 0
-        for src, dst, kind in graph.edges():
-            if kind is EdgeKind.COMM and (src, dst) in on_path:
-                count += 1
-        return count
+        path = np.asarray(self.critical_path(graph), dtype=np.int64)
+        if path.size < 2:
+            return 0
+        comm_eids = graph.message_edges()
+        edge_keys = (
+            graph.edge_src[comm_eids] * graph.num_vertices + graph.edge_dst[comm_eids]
+        )
+        path_keys = path[:-1] * graph.num_vertices + path[1:]
+        return int(np.isin(edge_keys, path_keys).sum())
 
 
 class LogGOPSSimulator:
@@ -170,10 +189,8 @@ class LogGOPSSimulator:
                 end[v] = ready + o
 
         rank_finish = np.zeros(graph.nranks, dtype=np.float64)
-        for v in range(n):
-            r = int(rank[v])
-            if end[v] > rank_finish[r]:
-                rank_finish[r] = end[v]
+        if n:
+            np.maximum.at(rank_finish, rank, end)
         makespan = float(end.max()) if n else 0.0
         return SimulationResult(
             makespan=makespan,

@@ -222,3 +222,77 @@ class TestNoiseModels:
     def test_zero_duration_untouched(self):
         assert GaussianNoise(sigma=0.5).perturb(0.0) == 0.0
         assert OSJitterNoise(probability=1.0).perturb(0.0) == 0.0
+
+
+class TestCriticalPathRanking:
+    """The tightness ranking must include the wire time of messages."""
+
+    def _shadowed_arrival_graph(self):
+        # rank 0: CALC(5) -> SEND; rank 1: CALC(8) -> RECV.  With L = 10 and
+        # o = G = 0 the send *ends* at 5 (before the rank-1 CALC at 8), but
+        # the message *arrives* at 15 — the comm edge is the tight input of
+        # the RECV, and a ranking that ignores wire time picks the CALC.
+        from repro.schedgen.graph import GraphBuilder
+
+        builder = GraphBuilder(nranks=2)
+        c0 = builder.add_calc(0, 5.0)
+        s = builder.add_send(0, 1, 1)
+        builder.add_dependency(c0, s)
+        c1 = builder.add_calc(1, 8.0)
+        r = builder.add_recv(1, 0, 1)
+        builder.add_dependency(c1, r)
+        builder.add_comm_edge(s, r)
+        return builder.freeze(), (c0, s, c1, r)
+
+    def test_comm_arrival_beats_later_dependency_end(self):
+        graph, (c0, s, c1, r) = self._shadowed_arrival_graph()
+        params = LogGPSParams(L=10.0, o=0.0, g=0.0, G=0.0)
+        result = simulate(graph, params)
+        # end(c1) = 8 > end(s) = 5, but arrival(s) = 15: the path must take
+        # the message, not the dependency predecessor
+        assert result.end[c1] > result.end[s]
+        path = result.critical_path(graph)
+        assert path == [c0, s, r]
+        assert result.critical_path_messages(graph) == 1
+
+    def test_wire_time_includes_gap_term(self):
+        # 1001-byte message: arrival = end(s) + L + 1000 G = 5 + 1 + 10 = 16,
+        # still later than the dependency end at 8 even though L alone (6)
+        # would lose the ranking
+        from repro.schedgen.graph import GraphBuilder
+
+        builder = GraphBuilder(nranks=2)
+        c0 = builder.add_calc(0, 5.0)
+        s = builder.add_send(0, 1, 1001)
+        builder.add_dependency(c0, s)
+        c1 = builder.add_calc(1, 8.0)
+        r = builder.add_recv(1, 0, 1001)
+        builder.add_dependency(c1, r)
+        builder.add_comm_edge(s, r)
+        graph = builder.freeze()
+        params = LogGPSParams(L=1.0, o=0.0, g=0.0, G=0.01)
+        result = simulate(graph, params)
+        assert result.critical_path(graph) == [c0, s, r]
+        assert result.critical_path_messages(graph) == 1
+
+    def test_critical_path_messages_matches_edge_scan(self):
+        from repro.schedgen.graph import EdgeKind
+
+        graph = pingpong_graph(iterations=2)
+        result = simulate(graph, PARAMS)
+        path = result.critical_path(graph)
+        pairs = set(zip(path, path[1:]))
+        slow = sum(
+            1
+            for src, dst, kind in graph.edges()
+            if kind is EdgeKind.COMM and (src, dst) in pairs
+        )
+        assert result.critical_path_messages(graph) == slow
+        assert slow >= 1
+
+    def test_rank_finish_is_per_rank_maximum(self):
+        graph = pingpong_graph(iterations=3)
+        result = simulate(graph, PARAMS)
+        for r in range(graph.nranks):
+            vids = graph.vertices_of_rank(r)
+            assert result.rank_finish[r] == pytest.approx(result.end[vids].max())
