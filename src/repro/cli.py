@@ -51,7 +51,12 @@ def _app_graph(args: argparse.Namespace, params: LogGPSParams):
         raise SystemExit(f"unknown application {args.app!r}; choose from {sorted(ALL_APPS)}")
     module = ALL_APPS[args.app]
     algorithms = CollectiveAlgorithms(allreduce=args.allreduce)
-    return module.build(args.nranks, params=params, algorithms=algorithms)
+    return module.build(
+        args.nranks,
+        params=params,
+        algorithms=algorithms,
+        builder_engine=args.builder_engine,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="graph→LP construction engine: the per-vertex symbolic "
                              "sweep or the vectorised compiler (default: %(default)s, "
                              "compiled for large graphs)")
+    parser.add_argument("--builder-engine", default="auto",
+                        choices=("auto", "legacy", "columnar"),
+                        help="schedule→graph construction engine: the op-by-op "
+                             "reference path or the columnar bulk-emission engine "
+                             "(default: %(default)s, columnar for large schedules; "
+                             "both produce bit-identical graphs)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_app_args(p: argparse.ArgumentParser) -> None:

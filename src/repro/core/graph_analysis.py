@@ -76,18 +76,39 @@ def forward_pass(graph: ExecutionGraph, params: LogGPSParams) -> np.ndarray:
     Identical semantics to the LP of Algorithm 1 (and to the LogGOPS
     simulator with ``g = 0`` and no injector): the makespan is
     ``completion.max()``.
+
+    Edge and vertex costs are precomputed as arrays through
+    :meth:`~repro.schedgen.graph.ExecutionGraph.edge_arrays`; the sweep
+    itself runs over plain lists (NumPy scalar indexing would dominate the
+    per-edge work on trace-scale graphs).
     """
     n = graph.num_vertices
-    completion = np.zeros(n, dtype=np.float64)
-    for v in graph.topological_order():
-        v = int(v)
+    edge_src, edge_dst, edge_kind = graph.edge_arrays()
+    comm = edge_kind == int(EdgeKind.COMM)
+    edge_cost = np.where(
+        comm,
+        params.L + np.maximum(graph.size[edge_dst] - 1, 0) * params.G,
+        0.0,
+    )
+    vertex_cost = np.where(
+        graph.kind == int(VertexKind.CALC), graph.cost, params.o
+    )
+
+    completion = [0.0] * n
+    sources = edge_src.tolist()
+    costs = edge_cost.tolist()
+    vcosts = vertex_cost.tolist()
+    indptr = graph._pred_indptr.tolist()
+    pred_edges = graph._pred_edges.tolist()
+    for v in graph.topological_order().tolist():
         ready = 0.0
-        for src, _, kind in graph.in_edges(v):
-            candidate = completion[src] + _edge_cost(graph, params, v, kind)
+        for pos in range(indptr[v], indptr[v + 1]):
+            eid = pred_edges[pos]
+            candidate = completion[sources[eid]] + costs[eid]
             if candidate > ready:
                 ready = candidate
-        completion[v] = ready + _vertex_cost(graph, params, v)
-    return completion
+        completion[v] = ready + vcosts[v]
+    return np.asarray(completion, dtype=np.float64)
 
 
 def analyze_critical_path(graph: ExecutionGraph, params: LogGPSParams) -> CriticalPathResult:

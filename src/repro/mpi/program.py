@@ -25,7 +25,15 @@ from typing import Iterable, Iterator, Sequence
 
 from ..trace.records import COLLECTIVE_OPS, MPIOp, Trace
 
-__all__ = ["OpKind", "ProgramOp", "RankProgram", "Program", "COLLECTIVE_KINDS"]
+__all__ = [
+    "OpKind",
+    "ProgramOp",
+    "RankProgram",
+    "Program",
+    "COLLECTIVE_KINDS",
+    "MPI_TO_KIND",
+    "KIND_TO_MPI",
+]
 
 
 class OpKind(str, enum.Enum):
@@ -66,7 +74,9 @@ COLLECTIVE_KINDS = frozenset(
     }
 )
 
-_MPI_TO_KIND: dict[MPIOp, OpKind] = {
+#: traced MPI call → program operation kind (shared with the columnar trace
+#: ingestion of :mod:`repro.schedgen.columnar`)
+MPI_TO_KIND: dict[MPIOp, OpKind] = {
     MPIOp.SEND: OpKind.SEND,
     MPIOp.RECV: OpKind.RECV,
     MPIOp.ISEND: OpKind.ISEND,
@@ -84,7 +94,7 @@ _MPI_TO_KIND: dict[MPIOp, OpKind] = {
     MPIOp.ALLTOALL: OpKind.ALLTOALL,
 }
 
-KIND_TO_MPI: dict[OpKind, MPIOp] = {v: k for k, v in _MPI_TO_KIND.items()}
+KIND_TO_MPI: dict[OpKind, MPIOp] = {v: k for k, v in MPI_TO_KIND.items()}
 
 
 @dataclass(frozen=True)
@@ -257,7 +267,7 @@ class Program:
                     # been accounted for above; the call itself adds no vertex
                     prev_end = rec.tend
                     continue
-                kind = _MPI_TO_KIND.get(rec.op)
+                kind = MPI_TO_KIND.get(rec.op)
                 if kind is None:
                     raise ValueError(f"cannot convert trace record {rec.op} to a program op")
                 is_coll = rec.op in COLLECTIVE_OPS

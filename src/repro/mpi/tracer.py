@@ -83,6 +83,7 @@ def trace_program(
 
     clocks = [0.0] * nranks
     pcs = [0] * nranks
+    rank_programs = program.ranks
     trace = Trace.empty(nranks, **program.meta)
 
     # message mailboxes keyed by (src, dst, tag): FIFO of arrival times
@@ -109,7 +110,7 @@ def trace_program(
 
     def try_progress(rank: int) -> bool:
         """Execute the next op of ``rank`` if possible; return True on progress."""
-        rp = program.rank(rank)
+        rp = rank_programs[rank]
         if pcs[rank] >= len(rp):
             return False
         op = rp[pcs[rank]]
@@ -254,7 +255,7 @@ def trace_program(
             duration = collective_duration(op.kind, nranks, op.size, params)
             leave = max(entries.values()) + duration
             for member in range(nranks):
-                member_op = program.rank(member)[pcs[member]]
+                member_op = rank_programs[member][pcs[member]]
                 trace.add_record(
                     member,
                     TraceRecord(
@@ -277,19 +278,19 @@ def trace_program(
     total_ops = program.num_ops
     executed = 0
     stalled_rounds = 0
-    while any(pcs[r] < len(program.rank(r)) for r in range(nranks)):
+    while any(pcs[r] < len(rank_programs[r]) for r in range(nranks)):
         progressed = False
         for rank in range(nranks):
-            while pcs[rank] < len(program.rank(rank)) and try_progress(rank):
+            while pcs[rank] < len(rank_programs[rank]) and try_progress(rank):
                 progressed = True
                 executed += 1
         if not progressed:
             stalled_rounds += 1
             if stalled_rounds > 2:
                 blocked = {
-                    r: str(program.rank(r)[pcs[r]].kind)
+                    r: str(rank_programs[r][pcs[r]].kind)
                     for r in range(nranks)
-                    if pcs[r] < len(program.rank(r))
+                    if pcs[r] < len(rank_programs[r])
                 }
                 raise TraceDeadlockError(
                     f"replay deadlocked after {executed}/{total_ops} operations; "

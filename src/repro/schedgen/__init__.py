@@ -5,8 +5,15 @@ from .builder import (
     ScheduleGenerator,
     UnmatchedMessageError,
     build_graph,
+    resolve_builder_engine,
 )
-from .collectives import COLLECTIVE_TAG_BASE, CollectiveAlgorithms
+from .collectives import (
+    COLLECTIVE_TAG_BASE,
+    RENDEZVOUS_TAG_BASE,
+    USER_TAG_LIMIT,
+    CollectiveAlgorithms,
+)
+from .columnar import RankOpBatch, batches_from_program, batches_from_trace
 from .goal import GoalFormatError, dump_goal, dumps_goal, load_goal, loads_goal
 from .graph import (
     EdgeKind,
@@ -24,9 +31,15 @@ __all__ = [
     "GraphValidationError",
     "CollectiveAlgorithms",
     "COLLECTIVE_TAG_BASE",
+    "RENDEZVOUS_TAG_BASE",
+    "USER_TAG_LIMIT",
     "ScheduleGenerator",
     "ProtocolConfig",
     "build_graph",
+    "resolve_builder_engine",
+    "RankOpBatch",
+    "batches_from_program",
+    "batches_from_trace",
     "UnmatchedMessageError",
     "dump_goal",
     "dumps_goal",

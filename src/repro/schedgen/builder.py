@@ -22,6 +22,21 @@ LogGOPSim toolchain that LLAMP builds on (Section II-A):
   (three latencies plus the serialisation term before the payload is
   delivered) and it keeps the simulator, the LP generator and the parametric
   engine free of protocol special cases.
+
+Two construction engines produce bit-identical graphs:
+
+``legacy``
+    the op-by-op reference path in this module — one builder call per
+    vertex, a per-vertex queue scan for message matching;
+``columnar``
+    the array-native engine of :mod:`repro.schedgen.columnar` — bulk
+    emission of whole segments/collective rounds, a vectorised rendezvous
+    post-pass and sort-based message matching.
+
+``build_graph(..., builder_engine="auto")`` (the default) picks the
+columnar engine for workloads of at least
+:data:`~repro.core.lp_builder.COMPILED_ENGINE_THRESHOLD` operations,
+mirroring the LP-side ``engine="auto"`` policy.
 """
 
 from __future__ import annotations
@@ -37,7 +52,16 @@ from ..trace.records import Trace
 from . import collectives as coll
 from .graph import ExecutionGraph, GraphBuilder
 
-__all__ = ["ProtocolConfig", "ScheduleGenerator", "build_graph", "UnmatchedMessageError"]
+__all__ = [
+    "ProtocolConfig",
+    "ScheduleGenerator",
+    "build_graph",
+    "resolve_builder_engine",
+    "UnmatchedMessageError",
+]
+
+#: valid values of the ``builder_engine`` knob
+BUILDER_ENGINES = ("auto", "legacy", "columnar")
 
 #: size of the control messages (RTS / CTS) used by the rendezvous expansion
 _RENDEZVOUS_CTRL_BYTES = 1
@@ -84,21 +108,64 @@ class _RankState:
     requests: dict[int, int] = field(default_factory=dict)
 
 
+def _validate_builder_engine(engine: str) -> str:
+    if engine not in BUILDER_ENGINES:
+        raise ValueError(
+            f"unknown builder engine {engine!r}; expected one of {BUILDER_ENGINES}"
+        )
+    return engine
+
+
+def resolve_builder_engine(engine: str, num_ops: int) -> str:
+    """Resolve the ``auto`` engine policy for a workload of ``num_ops`` ops.
+
+    Mirrors the LP-side ``engine="auto"`` choice: columnar at or above
+    :data:`~repro.core.lp_builder.COMPILED_ENGINE_THRESHOLD` operations
+    (collectives expand each op into many vertices, so the op count is a
+    lower bound on the graph size), the simpler op-by-op path below it.
+    """
+    if _validate_builder_engine(engine) != "auto":
+        return engine
+    from ..core.lp_builder import COMPILED_ENGINE_THRESHOLD
+
+    return "columnar" if num_ops >= COMPILED_ENGINE_THRESHOLD else "legacy"
+
+
 class ScheduleGenerator:
-    """Build :class:`ExecutionGraph` objects from programs or traces."""
+    """Build :class:`ExecutionGraph` objects from programs or traces.
+
+    ``builder_engine`` selects the construction path: ``"legacy"`` (the
+    op-by-op reference), ``"columnar"`` (the array-native engine of
+    :mod:`repro.schedgen.columnar`) or ``"auto"`` (columnar for workloads of
+    at least :data:`~repro.core.lp_builder.COMPILED_ENGINE_THRESHOLD`
+    operations/records).  Both engines produce bit-identical graphs.
+    """
 
     def __init__(
         self,
         algorithms: coll.CollectiveAlgorithms | None = None,
         protocol: ProtocolConfig | None = None,
+        builder_engine: str = "auto",
     ) -> None:
         self.algorithms = algorithms or coll.CollectiveAlgorithms()
         self.protocol = protocol or ProtocolConfig()
+        self.builder_engine = _validate_builder_engine(builder_engine)
 
     # -- public entry points -------------------------------------------------
 
     def build(self, program: Program) -> ExecutionGraph:
         """Convert a :class:`Program` into an execution graph."""
+        engine = resolve_builder_engine(self.builder_engine, program.num_ops)
+        if engine == "columnar":
+            from . import columnar
+
+            batches = columnar.batches_from_program(program)
+            return columnar.build_columnar(
+                batches, program.nranks, algorithms=self.algorithms, protocol=self.protocol
+            )
+        return self._build_legacy(program)
+
+    def _build_legacy(self, program: Program) -> ExecutionGraph:
         program.validate()
         builder = GraphBuilder(nranks=program.nranks)
         states = [_RankState() for _ in range(program.nranks)]
@@ -124,10 +191,23 @@ class ScheduleGenerator:
         """Convert a timestamped trace into an execution graph.
 
         Computation is inferred from the gap between consecutive MPI calls on
-        the same rank, as Schedgen does with liballprof traces (Fig. 3).
+        the same rank, as Schedgen does with liballprof traces (Fig. 3).  The
+        columnar engine ingests the trace columns directly
+        (:func:`repro.schedgen.columnar.batches_from_trace`) without the
+        ``ProgramOp``-object detour of the legacy path; the resulting graph
+        is bit-identical either way.
         """
+        engine = resolve_builder_engine(self.builder_engine, trace.num_records)
+        if engine == "columnar":
+            from . import columnar
+
+            trace.validate()
+            batches = columnar.batches_from_trace(trace, min_compute=min_compute)
+            return columnar.build_columnar(
+                batches, trace.nranks, algorithms=self.algorithms, protocol=self.protocol
+            )
         program = Program.from_trace(trace, min_compute=min_compute)
-        return self.build(program)
+        return self._build_legacy(program)
 
     # -- point-to-point ------------------------------------------------------
 
@@ -140,6 +220,10 @@ class ScheduleGenerator:
                 vid = builder.add_calc(rank, op.cost)
                 self._advance(builder, state, vid)
             return
+        if op.is_p2p:
+            _check_user_tag(rank, op.tag)
+            if kind is OpKind.SENDRECV:
+                _check_user_tag(rank, op.recv_tag)
         if kind is OpKind.SEND:
             self._emit_send_blocking(builder, state, rank, op.peer, op.size, op.tag)
             return
@@ -278,54 +362,100 @@ class ScheduleGenerator:
         # Deterministic tag derived from the user tag: all three sub-messages
         # of a handshake share the base, and matching stays FIFO per
         # (sender, receiver, user tag) because the base is a pure function of
-        # those three values.
-        return coll.COLLECTIVE_TAG_BASE + (coll.COLLECTIVE_TAG_BASE >> 1) + tag * 4
+        # those three values.  User tags are range-checked against
+        # USER_TAG_LIMIT on emission, so the derived base can never fall into
+        # the user or collective regions.
+        return coll.RENDEZVOUS_TAG_BASE + tag * 4
 
     # -- collectives -----------------------------------------------------------
 
     def _next_collective_tag(self, nranks: int) -> int:
-        tag = self._tag_cursor
-        self._tag_cursor += 4 * nranks + 16
+        tag, self._tag_cursor = coll.next_collective_tag(self._tag_cursor, nranks)
         return tag
 
     def _emit_collective(
         self, builder: GraphBuilder, frontier: list[int], op: ProgramOp
     ) -> None:
-        nranks = builder.nranks
-        tag = self._next_collective_tag(nranks)
-        kind = op.kind
-        algorithms = self.algorithms
-        if kind is OpKind.BARRIER:
-            coll.expand_barrier_dissemination(builder, frontier, tag=tag)
-        elif kind is OpKind.BCAST:
-            if algorithms.bcast == "binomial":
-                coll.expand_bcast_binomial(builder, frontier, root=op.root, size=op.size, tag=tag)
-            else:
-                coll.expand_bcast_linear(builder, frontier, root=op.root, size=op.size, tag=tag)
-        elif kind is OpKind.REDUCE:
-            coll.expand_reduce_binomial(builder, frontier, root=op.root, size=op.size, tag=tag)
-        elif kind is OpKind.ALLREDUCE:
-            if algorithms.allreduce == "recursive_doubling":
-                coll.expand_allreduce_recursive_doubling(builder, frontier, size=op.size, tag=tag)
-            elif algorithms.allreduce == "ring":
-                coll.expand_allreduce_ring(builder, frontier, size=op.size, tag=tag)
-            else:
-                coll.expand_allreduce_reduce_bcast(
-                    builder, frontier, size=op.size, tag=tag, root=op.root
-                )
-        elif kind is OpKind.ALLGATHER:
-            if algorithms.allgather == "ring":
-                coll.expand_allgather_ring(builder, frontier, size=op.size, tag=tag)
-            else:
-                coll.expand_allgather_recursive_doubling(builder, frontier, size=op.size, tag=tag)
-        elif kind is OpKind.ALLTOALL:
-            coll.expand_alltoall_pairwise(builder, frontier, size=op.size, tag=tag)
-        elif kind is OpKind.GATHER:
-            coll.expand_gather_linear(builder, frontier, root=op.root, size=op.size, tag=tag)
-        elif kind is OpKind.SCATTER:
-            coll.expand_scatter_linear(builder, frontier, root=op.root, size=op.size, tag=tag)
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown collective kind {kind}")
+        tag = self._next_collective_tag(builder.nranks)
+        _expand_collective(
+            builder,
+            frontier,
+            kind=op.kind,
+            size=op.size,
+            root=op.root,
+            algorithms=self.algorithms,
+            tag=tag,
+            expanders=coll.LEGACY_EXPANDERS,
+        )
+
+
+def _expand_collective(
+    builder: GraphBuilder,
+    frontier,
+    *,
+    kind: OpKind,
+    size: int,
+    root: int,
+    algorithms: coll.CollectiveAlgorithms,
+    tag: int,
+    expanders: dict,
+) -> None:
+    """Dispatch one collective to the selected algorithm implementation.
+
+    Shared by both engines: ``expanders`` is either
+    :data:`~repro.schedgen.collectives.LEGACY_EXPANDERS` (``frontier`` is a
+    Python list) or :data:`~repro.schedgen.collectives.COLUMNAR_EXPANDERS`
+    (``frontier`` is an int64 array).
+    """
+    if kind is OpKind.BARRIER:
+        expanders["barrier_dissemination"](builder, frontier, tag=tag)
+    elif kind is OpKind.BCAST:
+        expanders[f"bcast_{algorithms.bcast}"](
+            builder, frontier, root=root, size=size, tag=tag
+        )
+    elif kind is OpKind.REDUCE:
+        expanders[f"reduce_{algorithms.reduce}"](
+            builder, frontier, root=root, size=size, tag=tag
+        )
+    elif kind is OpKind.ALLREDUCE:
+        kwargs = dict(size=size, tag=tag)
+        if algorithms.allreduce == "reduce_bcast":
+            kwargs["root"] = root
+        expanders[f"allreduce_{algorithms.allreduce}"](builder, frontier, **kwargs)
+    elif kind is OpKind.ALLGATHER:
+        expanders[f"allgather_{algorithms.allgather}"](
+            builder, frontier, size=size, tag=tag
+        )
+    elif kind is OpKind.ALLTOALL:
+        expanders[f"alltoall_{algorithms.alltoall}"](
+            builder, frontier, size=size, tag=tag
+        )
+    elif kind is OpKind.GATHER:
+        expanders[f"gather_{algorithms.gather}"](
+            builder, frontier, root=root, size=size, tag=tag
+        )
+    elif kind is OpKind.SCATTER:
+        expanders[f"scatter_{algorithms.scatter}"](
+            builder, frontier, root=root, size=size, tag=tag
+        )
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown collective kind {kind}")
+
+
+def _check_user_tag(rank: int, tag: int) -> None:
+    """Reject point-to-point tags outside the user tag region.
+
+    Synthetic tags (expanded collectives, rendezvous handshakes) live in
+    dedicated regions above :data:`~repro.schedgen.collectives.USER_TAG_LIMIT`;
+    letting a traced tag into those regions could silently cross-match user
+    traffic with synthetic traffic.
+    """
+    if not 0 <= tag < coll.USER_TAG_LIMIT:
+        raise ValueError(
+            f"rank {rank}: point-to-point tag {tag} outside the user tag "
+            f"range [0, {coll.USER_TAG_LIMIT}) reserved from the collective/"
+            f"rendezvous tag spaces"
+        )
 
 
 def build_graph(
@@ -334,15 +464,21 @@ def build_graph(
     algorithms: coll.CollectiveAlgorithms | None = None,
     protocol: ProtocolConfig | None = None,
     params: LogGPSParams | None = None,
+    builder_engine: str = "auto",
 ) -> ExecutionGraph:
     """Convenience wrapper: build an execution graph from a program.
 
     If ``params`` is given and ``protocol`` is not, the protocol threshold is
-    taken from ``params.S``.
+    taken from ``params.S``.  ``builder_engine`` selects the construction
+    path (``"legacy"``, ``"columnar"`` or ``"auto"``; see
+    :class:`ScheduleGenerator`) — the frozen graph is bit-identical either
+    way.
     """
     if protocol is None and params is not None:
         protocol = ProtocolConfig.from_params(params)
-    generator = ScheduleGenerator(algorithms=algorithms, protocol=protocol)
+    generator = ScheduleGenerator(
+        algorithms=algorithms, protocol=protocol, builder_engine=builder_engine
+    )
     return generator.build(program)
 
 
@@ -419,10 +555,10 @@ def _match_messages(builder: GraphBuilder, nranks: int) -> None:
     sends: dict[tuple[int, int, int], deque[int]] = defaultdict(deque)
     recvs: dict[tuple[int, int, int], deque[int]] = defaultdict(deque)
 
-    kinds = builder._kind
-    ranks = builder._rank
-    peers = builder._peer
-    tags = builder._tag
+    kinds = builder.kind_column().tolist()
+    ranks = builder.rank_column().tolist()
+    peers = builder.peer_column().tolist()
+    tags = builder.tag_column().tolist()
 
     for vid in range(builder.num_vertices):
         kind = kinds[vid]
@@ -449,10 +585,11 @@ def _match_messages(builder: GraphBuilder, nranks: int) -> None:
         )
 
 
-def _summarise_unmatched(unmatched: dict[tuple[int, int, int], list[int]]) -> str:
+def _summarise_unmatched(unmatched: dict[tuple[int, int, int], object]) -> str:
     items = []
-    for (src, dst, tag), vids in list(unmatched.items())[:5]:
-        items.append(f"(src={src}, dst={dst}, tag={tag}, count={len(vids)})")
+    for (src, dst, tag), entry in list(unmatched.items())[:5]:
+        count = entry if isinstance(entry, int) else len(entry)
+        items.append(f"(src={src}, dst={dst}, tag={tag}, count={count})")
     more = len(unmatched) - len(items)
     if more > 0:
         items.append(f"... and {more} more keys")

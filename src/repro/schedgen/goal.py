@@ -24,17 +24,28 @@ rank 1 {
 Costs are written in whole nanoseconds (GOAL's convention), message sizes in
 bytes.  Communication edges are not written explicitly — LogGOPSim re-derives
 them from send/recv matching — and neither do we when parsing: the graph is
-re-matched with the same FIFO rule used by the schedule builder.
+re-matched with the same FIFO rule used by the schedule builder (via the
+vectorised matcher of :mod:`repro.schedgen.columnar`).
+
+Ingestion is columnar: each ``rank`` block is parsed into staging columns and
+flushed through the bulk :meth:`~repro.schedgen.graph.GraphBuilder.add_vertices`
+/ ``add_dependencies`` APIs at the closing brace, one call per block instead
+of one per line; the writer reads the edge columns through
+:meth:`~repro.schedgen.graph.ExecutionGraph.edge_arrays` instead of the
+per-edge tuple iterator.
 """
 
 from __future__ import annotations
 
 import io
 import re
-from collections import defaultdict, deque
 from pathlib import Path
 from typing import TextIO
 
+import numpy as np
+
+from .builder import UnmatchedMessageError
+from .columnar import match_messages
 from .graph import EdgeKind, ExecutionGraph, GraphBuilder, VertexKind
 
 __all__ = ["dump_goal", "dumps_goal", "load_goal", "loads_goal", "GoalFormatError"]
@@ -69,6 +80,13 @@ def dump_goal(graph: ExecutionGraph, destination: str | Path | TextIO) -> None:
 
 def _write(graph: ExecutionGraph, handle: TextIO) -> None:
     handle.write(f"num_ranks {graph.nranks}\n")
+    edge_src, edge_dst, edge_kind = graph.edge_arrays()
+    dep_mask = edge_kind == int(EdgeKind.DEP)
+    # an intra-rank dependency has both endpoints on the writer's rank; DEP
+    # edges are intra-rank by construction, so grouping by the source rank
+    # partitions them (one vectorised pass instead of a per-rank edge scan)
+    dep_ids = np.flatnonzero(dep_mask)
+    dep_rank = graph.rank[edge_src[dep_ids]]
     # per-rank local label numbering
     local_label: dict[int, int] = {}
     for rank in range(graph.nranks):
@@ -90,11 +108,10 @@ def _write(graph: ExecutionGraph, handle: TextIO) -> None:
                     f"  l{local_id}: recv {int(graph.size[vid])}b from "
                     f"{int(graph.peer[vid])} tag {int(graph.tag[vid])}\n"
                 )
-        # intra-rank dependency edges
-        for src, dst, kind in graph.edges():
-            if kind is not EdgeKind.DEP:
-                continue
-            if int(graph.rank[src]) != rank or int(graph.rank[dst]) != rank:
+        # intra-rank dependency edges, in edge order
+        for eid in dep_ids[dep_rank == rank]:
+            src, dst = int(edge_src[eid]), int(edge_dst[eid])
+            if int(graph.rank[dst]) != rank:  # pragma: no cover - defensive
                 continue
             handle.write(f"  l{local_label[dst]} requires l{local_label[src]}\n")
         handle.write("}\n")
@@ -113,6 +130,36 @@ def load_goal(source: str | Path | TextIO) -> ExecutionGraph:
     return _read(source)
 
 
+class _BlockStage:
+    """Staging columns of one ``rank { ... }`` block (flushed in bulk)."""
+
+    __slots__ = ("kind", "cost", "size", "peer", "tag", "local_index", "deps")
+
+    def __init__(self) -> None:
+        self.kind: list[int] = []
+        self.cost: list[float] = []
+        self.size: list[int] = []
+        self.peer: list[int] = []
+        self.tag: list[int] = []
+        self.local_index: dict[int, int] = {}
+        self.deps: list[tuple[int, int]] = []  # (src_index, dst_index)
+
+    def flush(self, builder: GraphBuilder, rank: int) -> None:
+        if not self.kind:
+            return
+        vids = builder.add_vertices(
+            np.array(self.kind, dtype=np.int8),
+            rank,
+            cost=np.array(self.cost, dtype=np.float64),
+            size=np.array(self.size, dtype=np.int64),
+            peer=np.array(self.peer, dtype=np.int64),
+            tag=np.array(self.tag, dtype=np.int64),
+        )
+        if self.deps:
+            deps = np.array(self.deps, dtype=np.int64)
+            builder.add_dependencies(vids[deps[:, 0]], vids[deps[:, 1]])
+
+
 def _read(handle: TextIO) -> ExecutionGraph:
     lines = [line.rstrip() for line in handle.read().splitlines()]
     if not lines or not lines[0].startswith("num_ranks"):
@@ -124,79 +171,72 @@ def _read(handle: TextIO) -> ExecutionGraph:
 
     builder = GraphBuilder(nranks=nranks)
     current_rank: int | None = None
-    local_to_global: dict[int, int] = {}
-    pending_deps: list[tuple[int, int]] = []
+    stage = _BlockStage()
+
+    calc_kind = int(VertexKind.CALC)
+    send_kind = int(VertexKind.SEND)
+    recv_kind = int(VertexKind.RECV)
 
     for lineno, raw in enumerate(lines[1:], start=2):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
         if line.startswith("rank "):
+            if current_rank is not None:
+                raise GoalFormatError(
+                    f"line {lineno}: rank {current_rank} block is not closed"
+                )
             if not line.endswith("{"):
                 raise GoalFormatError(f"line {lineno}: expected 'rank N {{'")
             try:
                 current_rank = int(line.split()[1])
             except (IndexError, ValueError) as exc:
                 raise GoalFormatError(f"line {lineno}: malformed rank header") from exc
-            local_to_global = {}
+            stage = _BlockStage()
             continue
         if line == "}":
+            if current_rank is not None:
+                stage.flush(builder, current_rank)
             current_rank = None
-            for src, dst in pending_deps:
-                builder.add_dependency(src, dst)
-            pending_deps = []
             continue
         if current_rank is None:
             raise GoalFormatError(f"line {lineno}: statement outside a rank block")
         if (m := _CALC_RE.match(line)) is not None:
-            vid = builder.add_calc(current_rank, int(m.group("cost")) / _NS_PER_US)
-            local_to_global[int(m.group("id"))] = vid
+            stage.local_index[int(m.group("id"))] = len(stage.kind)
+            stage.kind.append(calc_kind)
+            stage.cost.append(int(m.group("cost")) / _NS_PER_US)
+            stage.size.append(0)
+            stage.peer.append(-1)
+            stage.tag.append(0)
         elif (m := _SEND_RE.match(line)) is not None:
-            vid = builder.add_send(
-                current_rank,
-                int(m.group("peer")),
-                int(m.group("size")),
-                tag=int(m.group("tag")),
-            )
-            local_to_global[int(m.group("id"))] = vid
+            stage.local_index[int(m.group("id"))] = len(stage.kind)
+            stage.kind.append(send_kind)
+            stage.cost.append(0.0)
+            stage.size.append(int(m.group("size")))
+            stage.peer.append(int(m.group("peer")))
+            stage.tag.append(int(m.group("tag")))
         elif (m := _RECV_RE.match(line)) is not None:
-            vid = builder.add_recv(
-                current_rank,
-                int(m.group("peer")),
-                int(m.group("size")),
-                tag=int(m.group("tag")),
-            )
-            local_to_global[int(m.group("id"))] = vid
+            stage.local_index[int(m.group("id"))] = len(stage.kind)
+            stage.kind.append(recv_kind)
+            stage.cost.append(0.0)
+            stage.size.append(int(m.group("size")))
+            stage.peer.append(int(m.group("peer")))
+            stage.tag.append(int(m.group("tag")))
         elif (m := _REQ_RE.match(line)) is not None:
             src_local, dst_local = int(m.group("src")), int(m.group("dst"))
-            if src_local not in local_to_global or dst_local not in local_to_global:
+            if src_local not in stage.local_index or dst_local not in stage.local_index:
                 raise GoalFormatError(f"line {lineno}: dependency on undefined label")
-            pending_deps.append((local_to_global[src_local], local_to_global[dst_local]))
+            stage.deps.append(
+                (stage.local_index[src_local], stage.local_index[dst_local])
+            )
         else:
             raise GoalFormatError(f"line {lineno}: cannot parse {line!r}")
 
-    _rematch(builder)
+    if current_rank is not None:
+        raise GoalFormatError(f"unterminated rank {current_rank} block at end of file")
+
+    try:
+        match_messages(builder)
+    except UnmatchedMessageError as exc:
+        raise GoalFormatError(f"unmatched send/recv operations in GOAL file: {exc}") from exc
     return builder.freeze(validate=True)
-
-
-def _rematch(builder: GraphBuilder) -> None:
-    """Re-derive communication edges from send/recv FIFO matching."""
-    sends: dict[tuple[int, int, int], deque[int]] = defaultdict(deque)
-    recvs: dict[tuple[int, int, int], deque[int]] = defaultdict(deque)
-    for vid in range(builder.num_vertices):
-        kind = builder._kind[vid]
-        if kind == VertexKind.SEND:
-            key = (builder._rank[vid], builder._peer[vid], builder._tag[vid])
-            if recvs[key]:
-                builder.add_comm_edge(vid, recvs[key].popleft())
-            else:
-                sends[key].append(vid)
-        elif kind == VertexKind.RECV:
-            key = (builder._peer[vid], builder._rank[vid], builder._tag[vid])
-            if sends[key]:
-                builder.add_comm_edge(sends[key].popleft(), vid)
-            else:
-                recvs[key].append(vid)
-    leftovers = sum(len(q) for q in sends.values()) + sum(len(q) for q in recvs.values())
-    if leftovers:
-        raise GoalFormatError(f"{leftovers} unmatched send/recv operations in GOAL file")

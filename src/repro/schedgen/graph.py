@@ -20,15 +20,21 @@ Edges come in two flavours:
     vertex; its cost under LogGPS is ``L + (s - 1) G`` for eager messages and
     the rendezvous hand-shake for large ones.
 
-The graph is built incrementally with :class:`GraphBuilder` (plain Python
-lists, cheap appends) and then frozen into an :class:`ExecutionGraph`
-(NumPy arrays + CSR adjacency) for analysis, simulation and LP generation.
+The graph is built incrementally with :class:`GraphBuilder` and then frozen
+into an :class:`ExecutionGraph` (NumPy arrays + CSR adjacency) for analysis,
+simulation and LP generation.  The builder itself is *columnar*: vertex and
+edge attributes live in growable NumPy buffers, and besides the classic
+scalar ``add_calc``/``add_send``/``add_recv``/``add_dependency`` calls it
+exposes bulk APIs (:meth:`GraphBuilder.add_vertices`,
+:meth:`GraphBuilder.add_dependencies`, :meth:`GraphBuilder.add_comm_edges`)
+that append whole rounds of a collective or a whole trace segment in one
+call — the foundation of the columnar schedule-generation engine
+(:mod:`repro.schedgen.columnar`).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -61,32 +67,84 @@ class GraphValidationError(ValueError):
     """Raised when an execution graph violates a structural invariant."""
 
 
-@dataclass
-class GraphBuilder:
-    """Incrementally build an execution graph.
+#: initial capacity of the builder's growable columns
+_INITIAL_CAPACITY = 64
 
-    The builder stores vertices and edges in Python lists; call
-    :meth:`freeze` to obtain an immutable :class:`ExecutionGraph` backed by
-    NumPy arrays.
+
+class GraphBuilder:
+    """Incrementally build an execution graph on growable NumPy columns.
+
+    Vertex attributes (kind, rank, cost, size, peer, tag) and edge triples
+    (src, dst, kind) are stored as preallocated NumPy buffers that double in
+    capacity when full, so both the scalar ``add_*`` methods and the bulk
+    ``add_vertices``/``add_dependencies``/``add_comm_edges`` APIs append in
+    amortised O(1) per element without any Python-list intermediary.  Call
+    :meth:`freeze` to obtain an immutable :class:`ExecutionGraph`.
+
+    Vertex ids are assigned densely in emission order; the frozen graph's
+    vertex and edge arrays preserve exactly the order in which vertices and
+    edges were added (see ``src/repro/schedgen/README.md`` for the ordering
+    guarantee the schedule generators build on).
     """
 
-    nranks: int
-    # vertex attribute columns
-    _kind: list[int] = field(default_factory=list)
-    _rank: list[int] = field(default_factory=list)
-    _cost: list[float] = field(default_factory=list)
-    _size: list[int] = field(default_factory=list)
-    _peer: list[int] = field(default_factory=list)
-    _tag: list[int] = field(default_factory=list)
-    _label: dict[int, str] = field(default_factory=dict)
-    # edges
-    _edge_src: list[int] = field(default_factory=list)
-    _edge_dst: list[int] = field(default_factory=list)
-    _edge_kind: list[int] = field(default_factory=list)
+    __slots__ = (
+        "nranks",
+        "_nv",
+        "_ne",
+        "_vkind",
+        "_vrank",
+        "_vcost",
+        "_vsize",
+        "_vpeer",
+        "_vtag",
+        "_esrc",
+        "_edst",
+        "_ekind",
+        "_label",
+    )
 
-    def __post_init__(self) -> None:
-        if self.nranks < 1:
-            raise ValueError(f"nranks must be >= 1, got {self.nranks}")
+    def __init__(self, nranks: int) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = int(nranks)
+        self._nv = 0
+        self._ne = 0
+        self._vkind = np.empty(_INITIAL_CAPACITY, dtype=np.int8)
+        self._vrank = np.empty(_INITIAL_CAPACITY, dtype=np.int32)
+        self._vcost = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._vsize = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._vpeer = np.empty(_INITIAL_CAPACITY, dtype=np.int32)
+        self._vtag = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._esrc = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._edst = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._ekind = np.empty(_INITIAL_CAPACITY, dtype=np.int8)
+        self._label: dict[int, str] = {}
+
+    # -- buffer management ---------------------------------------------------
+
+    def _reserve_vertices(self, needed: int) -> None:
+        capacity = len(self._vkind)
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, 2 * capacity)
+        live = self._nv
+        for name in ("_vkind", "_vrank", "_vcost", "_vsize", "_vpeer", "_vtag"):
+            old = getattr(self, name)
+            new = np.empty(new_capacity, dtype=old.dtype)
+            new[:live] = old[:live]
+            setattr(self, name, new)
+
+    def _reserve_edges(self, needed: int) -> None:
+        capacity = len(self._esrc)
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, 2 * capacity)
+        live = self._ne
+        for name in ("_esrc", "_edst", "_ekind"):
+            old = getattr(self, name)
+            new = np.empty(new_capacity, dtype=old.dtype)
+            new[:live] = old[:live]
+            setattr(self, name, new)
 
     # -- vertices -----------------------------------------------------------
 
@@ -102,15 +160,17 @@ class GraphBuilder:
     ) -> int:
         if not 0 <= rank < self.nranks:
             raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
-        vid = len(self._kind)
-        self._kind.append(int(kind))
-        self._rank.append(rank)
-        self._cost.append(float(cost))
-        self._size.append(int(size))
-        self._peer.append(int(peer))
-        self._tag.append(int(tag))
+        vid = self._nv
+        self._reserve_vertices(vid + 1)
+        self._vkind[vid] = int(kind)
+        self._vrank[vid] = rank
+        self._vcost[vid] = float(cost)
+        self._vsize[vid] = int(size)
+        self._vpeer[vid] = int(peer)
+        self._vtag[vid] = int(tag)
         if label is not None:
             self._label[vid] = label
+        self._nv = vid + 1
         return vid
 
     def add_calc(self, rank: int, cost: float, *, label: str | None = None) -> int:
@@ -139,7 +199,93 @@ class GraphBuilder:
             raise ValueError(f"recv peer {peer} out of range [0, {self.nranks})")
         return self._add_vertex(VertexKind.RECV, rank, 0.0, size, peer, tag, label)
 
+    def add_vertices(
+        self,
+        kind,
+        rank,
+        *,
+        cost=0.0,
+        size=0,
+        peer=-1,
+        tag=0,
+        count: int | None = None,
+    ) -> np.ndarray:
+        """Append a batch of vertices in one call; return their ids.
+
+        Every argument may be a scalar (broadcast) or an array of one common
+        length; ``count`` pins the batch size when all arguments are scalars.
+        Vertex ids are assigned in array order, so the batch occupies the
+        contiguous id range ``[num_vertices_before, num_vertices_before + n)``
+        — the property the columnar emitters rely on.  Validation (rank and
+        peer ranges, non-negative costs and sizes) runs vectorised over the
+        whole batch; ``peer`` is only range-checked for non-``CALC`` rows.
+        """
+        n = count
+        if n is None:
+            for value in (kind, rank, cost, size, peer, tag):
+                if np.ndim(value) == 1:
+                    n = len(value)
+                    break
+        if n is None:
+            raise ValueError(
+                "add_vertices needs at least one array-valued column or count="
+            )
+
+        def column(value, dtype) -> np.ndarray:
+            array = np.asarray(value, dtype=dtype)
+            if array.ndim == 0:
+                return np.broadcast_to(array, n)
+            if array.ndim != 1 or len(array) != n:
+                raise ValueError(
+                    f"column length mismatch: expected {n}, got shape {array.shape}"
+                )
+            return array
+
+        kinds = column(kind, np.int8)
+        ranks = column(rank, np.int32)
+        costs = column(cost, np.float64)
+        sizes = column(size, np.int64)
+        peers = column(peer, np.int32)
+        tags = column(tag, np.int64)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if np.any((ranks < 0) | (ranks >= self.nranks)):
+            raise ValueError(f"rank out of range [0, {self.nranks})")
+        if np.any(costs < 0):
+            raise ValueError("calc cost must be non-negative")
+        if np.any(sizes < 0):
+            raise ValueError("message size must be non-negative")
+        p2p = kinds != int(VertexKind.CALC)
+        if np.any(p2p & ((peers < 0) | (peers >= self.nranks))):
+            raise ValueError(f"peer out of range [0, {self.nranks})")
+
+        start = self._nv
+        self._reserve_vertices(start + n)
+        span = slice(start, start + n)
+        self._vkind[span] = kinds
+        self._vrank[span] = ranks
+        self._vcost[span] = costs
+        self._vsize[span] = sizes
+        self._vpeer[span] = peers
+        self._vtag[span] = tags
+        self._nv = start + n
+        return np.arange(start, start + n, dtype=np.int64)
+
+    def set_label(self, vid: int, label: str) -> None:
+        """Attach a label to an existing vertex (bulk-emit counterpart of
+        the ``label=`` keyword of the scalar ``add_*`` methods)."""
+        self._check_vertex(vid)
+        self._label[int(vid)] = label
+
     # -- edges --------------------------------------------------------------
+
+    def _append_edge(self, src: int, dst: int, kind: EdgeKind) -> None:
+        eid = self._ne
+        self._reserve_edges(eid + 1)
+        self._esrc[eid] = src
+        self._edst[eid] = dst
+        self._ekind[eid] = int(kind)
+        self._ne = eid + 1
 
     def add_dependency(self, src: int, dst: int) -> None:
         """Add an intra-rank happens-before edge ``src -> dst``."""
@@ -147,21 +293,69 @@ class GraphBuilder:
         self._check_vertex(dst)
         if src == dst:
             raise ValueError("self-dependency is not allowed")
-        self._edge_src.append(src)
-        self._edge_dst.append(dst)
-        self._edge_kind.append(int(EdgeKind.DEP))
+        self._append_edge(src, dst, EdgeKind.DEP)
 
     def add_comm_edge(self, send: int, recv: int) -> None:
         """Add a communication edge from a ``SEND`` vertex to a ``RECV`` vertex."""
         self._check_vertex(send)
         self._check_vertex(recv)
-        if self._kind[send] != VertexKind.SEND:
+        if self._vkind[send] != VertexKind.SEND:
             raise ValueError(f"vertex {send} is not a SEND vertex")
-        if self._kind[recv] != VertexKind.RECV:
+        if self._vkind[recv] != VertexKind.RECV:
             raise ValueError(f"vertex {recv} is not a RECV vertex")
-        self._edge_src.append(send)
-        self._edge_dst.append(recv)
-        self._edge_kind.append(int(EdgeKind.COMM))
+        self._append_edge(send, recv, EdgeKind.COMM)
+
+    def add_dependencies(self, src, dst) -> None:
+        """Append a batch of ``DEP`` edges (``src[i] -> dst[i]``) in order."""
+        src = np.asarray(src, dtype=np.int64).ravel()
+        dst = np.asarray(dst, dtype=np.int64).ravel()
+        if src.shape != dst.shape:
+            raise ValueError(
+                f"add_dependencies column length mismatch: {src.shape} vs {dst.shape}"
+            )
+        n = len(src)
+        if n == 0:
+            return
+        if np.any((src < 0) | (src >= self._nv) | (dst < 0) | (dst >= self._nv)):
+            raise ValueError("vertex id out of range")
+        if np.any(src == dst):
+            raise ValueError("self-dependency is not allowed")
+        start = self._ne
+        self._reserve_edges(start + n)
+        span = slice(start, start + n)
+        self._esrc[span] = src
+        self._edst[span] = dst
+        self._ekind[span] = int(EdgeKind.DEP)
+        self._ne = start + n
+
+    def add_comm_edges(self, send, recv) -> None:
+        """Append a batch of ``COMM`` edges (``send[i] -> recv[i]``) in order."""
+        send = np.asarray(send, dtype=np.int64).ravel()
+        recv = np.asarray(recv, dtype=np.int64).ravel()
+        if send.shape != recv.shape:
+            raise ValueError(
+                f"add_comm_edges column length mismatch: {send.shape} vs {recv.shape}"
+            )
+        n = len(send)
+        if n == 0:
+            return
+        if np.any((send < 0) | (send >= self._nv) | (recv < 0) | (recv >= self._nv)):
+            raise ValueError("vertex id out of range")
+        bad_send = self._vkind[send] != int(VertexKind.SEND)
+        if np.any(bad_send):
+            offender = int(send[int(np.argmax(bad_send))])
+            raise ValueError(f"vertex {offender} is not a SEND vertex")
+        bad_recv = self._vkind[recv] != int(VertexKind.RECV)
+        if np.any(bad_recv):
+            offender = int(recv[int(np.argmax(bad_recv))])
+            raise ValueError(f"vertex {offender} is not a RECV vertex")
+        start = self._ne
+        self._reserve_edges(start + n)
+        span = slice(start, start + n)
+        self._esrc[span] = send
+        self._edst[span] = recv
+        self._ekind[span] = int(EdgeKind.COMM)
+        self._ne = start + n
 
     def chain(self, vertices: Sequence[int]) -> None:
         """Add dependency edges connecting ``vertices`` in order."""
@@ -169,32 +363,58 @@ class GraphBuilder:
             self.add_dependency(u, v)
 
     def _check_vertex(self, vid: int) -> None:
-        if not 0 <= vid < len(self._kind):
+        if not 0 <= vid < self._nv:
             raise ValueError(f"vertex id {vid} out of range")
 
     # -- introspection ------------------------------------------------------
 
     @property
     def num_vertices(self) -> int:
-        return len(self._kind)
+        return self._nv
 
     @property
     def num_edges(self) -> int:
-        return len(self._edge_src)
+        return self._ne
+
+    def kind_column(self) -> np.ndarray:
+        """View of the vertex-kind column (read-only; valid until the next append,
+        which may reallocate the buffer — copy or consume immediately)."""
+        return self._vkind[: self._nv]
+
+    def rank_column(self) -> np.ndarray:
+        """View of the vertex-rank column (read-only; valid until the next append,
+        which may reallocate the buffer — copy or consume immediately)."""
+        return self._vrank[: self._nv]
+
+    def peer_column(self) -> np.ndarray:
+        """View of the vertex-peer column (read-only; valid until the next append,
+        which may reallocate the buffer — copy or consume immediately)."""
+        return self._vpeer[: self._nv]
+
+    def tag_column(self) -> np.ndarray:
+        """View of the vertex-tag column (read-only; valid until the next append,
+        which may reallocate the buffer — copy or consume immediately)."""
+        return self._vtag[: self._nv]
+
+    def size_column(self) -> np.ndarray:
+        """View of the vertex-size column (read-only; valid until the next append,
+        which may reallocate the buffer — copy or consume immediately)."""
+        return self._vsize[: self._nv]
 
     def freeze(self, *, validate: bool = True) -> "ExecutionGraph":
         """Produce an immutable :class:`ExecutionGraph`."""
+        nv, ne = self._nv, self._ne
         graph = ExecutionGraph(
             nranks=self.nranks,
-            kind=np.asarray(self._kind, dtype=np.int8),
-            rank=np.asarray(self._rank, dtype=np.int32),
-            cost=np.asarray(self._cost, dtype=np.float64),
-            size=np.asarray(self._size, dtype=np.int64),
-            peer=np.asarray(self._peer, dtype=np.int32),
-            tag=np.asarray(self._tag, dtype=np.int64),
-            edge_src=np.asarray(self._edge_src, dtype=np.int64),
-            edge_dst=np.asarray(self._edge_dst, dtype=np.int64),
-            edge_kind=np.asarray(self._edge_kind, dtype=np.int8),
+            kind=self._vkind[:nv].copy(),
+            rank=self._vrank[:nv].copy(),
+            cost=self._vcost[:nv].copy(),
+            size=self._vsize[:nv].copy(),
+            peer=self._vpeer[:nv].copy(),
+            tag=self._vtag[:nv].copy(),
+            edge_src=self._esrc[:ne].copy(),
+            edge_dst=self._edst[:ne].copy(),
+            edge_kind=self._ekind[:ne].copy(),
             labels=dict(self._label),
         )
         if validate:
@@ -281,7 +501,11 @@ class ExecutionGraph:
         return int(self._pred_indptr[vid + 1] - self._pred_indptr[vid])
 
     def in_edges(self, vid: int) -> Iterator[tuple[int, int, EdgeKind]]:
-        """Yield ``(src, dst, kind)`` for every incoming edge of ``vid``."""
+        """Yield ``(src, dst, kind)`` for every incoming edge of ``vid``.
+
+        Convenience iterator for small graphs and reference implementations;
+        hot paths should use :meth:`edge_arrays` / the CSR views instead.
+        """
         start, stop = self._pred_indptr[vid], self._pred_indptr[vid + 1]
         for pos in range(start, stop):
             eid = self._pred_edges[pos]
@@ -292,13 +516,25 @@ class ExecutionGraph:
             )
 
     def edges(self) -> Iterator[tuple[int, int, EdgeKind]]:
-        """Yield every edge as ``(src, dst, kind)``."""
+        """Yield every edge as ``(src, dst, kind)`` (see :meth:`edge_arrays`
+        for the array-native view used on hot paths)."""
         for eid in range(self._num_edges):
             yield (
                 int(self.edge_src[eid]),
                 int(self.edge_dst[eid]),
                 EdgeKind(int(self.edge_kind[eid])),
             )
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The raw ``(edge_src, edge_dst, edge_kind)`` columns, in edge order.
+
+        This is the array-native alternative to the per-edge :meth:`edges` /
+        :meth:`in_edges` tuple iterators: one call, zero copies (the arrays
+        are the graph's own columns — treat them as read-only).  Edge ids used
+        by the CSR views (``_pred_edges``/``_succ_edges``) index into these
+        arrays.
+        """
+        return self.edge_src, self.edge_dst, self.edge_kind
 
     def vertices_of_rank(self, rank: int) -> np.ndarray:
         """Vertex ids that belong to ``rank``."""
@@ -374,28 +610,38 @@ class ExecutionGraph:
 
     def _compute_topological_order(self) -> np.ndarray:
         n = self.num_vertices
-        indeg = np.diff(self._pred_indptr).astype(np.int64)
-        order = np.empty(n, dtype=np.int64)
-        # Kahn's algorithm with an explicit stack (deterministic order).
-        stack = list(np.flatnonzero(indeg == 0)[::-1])
-        pos = 0
-        succ_indptr, succ_indices = self._succ_indptr, self._succ_indices
+        # Kahn's algorithm with an explicit stack (deterministic order).  The
+        # loop runs over plain Python lists: element access on NumPy arrays
+        # costs ~10x a list index, which dominated freeze() on large graphs.
+        indeg_array = np.diff(self._pred_indptr)
+        indeg = indeg_array.tolist()
+        succ_indptr = self._succ_indptr.tolist()
+        succ_indices = self._succ_indices.tolist()
+        stack = np.flatnonzero(indeg_array == 0)[::-1].tolist()
+        order: list[int] = []
+        append_order = order.append
+        append_stack = stack.append
         while stack:
-            v = int(stack.pop())
-            order[pos] = v
-            pos += 1
+            v = stack.pop()
+            append_order(v)
             for u in succ_indices[succ_indptr[v]: succ_indptr[v + 1]]:
-                indeg[u] -= 1
-                if indeg[u] == 0:
-                    stack.append(int(u))
-        if pos != n:
+                remaining = indeg[u] - 1
+                indeg[u] = remaining
+                if not remaining:
+                    append_stack(u)
+        if len(order) != n:
             raise GraphValidationError(
-                f"graph contains a cycle: only {pos} of {n} vertices were ordered"
+                f"graph contains a cycle: only {len(order)} of {n} vertices were ordered"
             )
-        return order
+        return np.asarray(order, dtype=np.int64)
 
     def validate(self) -> None:
-        """Check structural invariants; raise :class:`GraphValidationError` otherwise."""
+        """Check structural invariants; raise :class:`GraphValidationError` otherwise.
+
+        All checks run vectorised over the vertex/edge columns — there is no
+        per-edge Python loop, so validating a trace-scale graph costs a few
+        array passes plus the (cached) topological sort.
+        """
         n = self.num_vertices
         if n == 0:
             raise GraphValidationError("execution graph has no vertices")
@@ -410,19 +656,30 @@ class ExecutionGraph:
                 raise GraphValidationError("edge destination out of range")
         # communication edges must connect SEND -> RECV across matching ranks
         comm = self.edge_kind == EdgeKind.COMM
-        for eid in np.flatnonzero(comm):
-            src, dst = int(self.edge_src[eid]), int(self.edge_dst[eid])
-            if self.kind[src] != VertexKind.SEND:
-                raise GraphValidationError(f"comm edge {eid} source {src} is not SEND")
-            if self.kind[dst] != VertexKind.RECV:
-                raise GraphValidationError(f"comm edge {eid} target {dst} is not RECV")
-            if self.peer[src] != self.rank[dst] or self.peer[dst] != self.rank[src]:
+        comm_ids = np.flatnonzero(comm)
+        if comm_ids.size:
+            src = self.edge_src[comm_ids]
+            dst = self.edge_dst[comm_ids]
+            bad_src = self.kind[src] != int(VertexKind.SEND)
+            bad_dst = self.kind[dst] != int(VertexKind.RECV)
+            bad_peer = (self.peer[src] != self.rank[dst]) | (
+                self.peer[dst] != self.rank[src]
+            )
+            bad_size = self.size[src] != self.size[dst]
+            bad_any = bad_src | bad_dst | bad_peer | bad_size
+            if np.any(bad_any):
+                at = int(np.argmax(bad_any))
+                eid, s, d = int(comm_ids[at]), int(src[at]), int(dst[at])
+                if bad_src[at]:
+                    raise GraphValidationError(f"comm edge {eid} source {s} is not SEND")
+                if bad_dst[at]:
+                    raise GraphValidationError(f"comm edge {eid} target {d} is not RECV")
+                if bad_peer[at]:
+                    raise GraphValidationError(
+                        f"comm edge {eid}: peer/rank mismatch between send {s} and recv {d}"
+                    )
                 raise GraphValidationError(
-                    f"comm edge {eid}: peer/rank mismatch between send {src} and recv {dst}"
-                )
-            if self.size[src] != self.size[dst]:
-                raise GraphValidationError(
-                    f"comm edge {eid}: size mismatch ({self.size[src]} != {self.size[dst]})"
+                    f"comm edge {eid}: size mismatch ({int(self.size[s])} != {int(self.size[d])})"
                 )
         # every SEND/RECV must participate in exactly one comm edge
         send_count = np.zeros(n, dtype=np.int64)
@@ -450,17 +707,24 @@ class ExecutionGraph:
         This bounds the latency sensitivity ``λ_L`` (Equation 3 of the
         paper): no path can cross more communication edges than this.
         """
-        depth = np.zeros(self.num_vertices, dtype=np.int64)
-        for v in self.topological_order():
-            start, stop = self._pred_indptr[v], self._pred_indptr[v + 1]
+        n = self.num_vertices
+        if not n:
+            return 0
+        depth = [0] * n
+        indptr = self._pred_indptr.tolist()
+        pred_edges = self._pred_edges.tolist()
+        edge_src = self.edge_src.tolist()
+        is_comm = (self.edge_kind == EdgeKind.COMM).tolist()
+        for v in self.topological_order().tolist():
+            start, stop = indptr[v], indptr[v + 1]
             best = 0
             for pos in range(start, stop):
-                eid = self._pred_edges[pos]
-                u = int(self.edge_src[eid])
-                add = 1 if self.edge_kind[eid] == EdgeKind.COMM else 0
-                best = max(best, depth[u] + add)
+                eid = pred_edges[pos]
+                candidate = depth[edge_src[eid]] + (1 if is_comm[eid] else 0)
+                if candidate > best:
+                    best = candidate
             depth[v] = best
-        return int(depth.max()) if len(depth) else 0
+        return max(depth)
 
     # -- export --------------------------------------------------------------
 

@@ -11,7 +11,12 @@ import numpy as np
 
 from .schedgen.graph import ExecutionGraph, GraphBuilder
 
-__all__ = ["build_running_example", "build_staircase", "build_random_dag"]
+__all__ = [
+    "build_running_example",
+    "build_staircase",
+    "build_random_dag",
+    "build_random_program",
+]
 
 
 def build_running_example(c0: float = 0.1) -> ExecutionGraph:
@@ -87,3 +92,93 @@ def build_random_dag(seed: int, *, nranks: int = 3, rounds: int = 10) -> Executi
         append(dst, r)
         builder.add_comm_edge(s, r)
     return builder.freeze()
+
+
+def build_random_program(
+    seed: int,
+    *,
+    nranks: int = 4,
+    rounds: int = 12,
+    big_size: int = 8192,
+    big_probability: float = 0.3,
+):
+    """A random valid point-to-point :class:`~repro.mpi.program.Program`.
+
+    Used by the builder-engine parity suite: every round appends random
+    computation, then one randomly shaped exchange between a random rank
+    pair — blocking send/recv, a non-blocking isend/irecv pair closed by
+    ``wait``/``waitall``, or a same-size ``sendrecv`` swap.  Message sizes
+    exceed ``big_size`` with probability ``big_probability``, so the same
+    program exercises both the eager path and (under a small rendezvous
+    threshold) the handshake expansion.  The program passes
+    ``Program.validate()`` by construction.
+    """
+    from .mpi.program import OpKind, Program, ProgramOp
+
+    if nranks < 2:
+        raise ValueError(f"need at least two ranks, got {nranks}")
+    rng = np.random.default_rng(seed)
+    program = Program.empty(nranks)
+    next_request = [0] * nranks
+
+    def size() -> int:
+        if rng.random() < big_probability:
+            return int(rng.integers(big_size + 1, 4 * big_size))
+        return int(rng.integers(1, 1024))
+
+    for round_index in range(rounds):
+        for rank in range(nranks):
+            if rng.random() < 0.6:
+                program.rank(rank).append(
+                    ProgramOp(kind=OpKind.COMPUTE, cost=float(rng.uniform(0.05, 2.0)))
+                )
+        a, b = (int(r) for r in rng.choice(nranks, size=2, replace=False))
+        tag = round_index
+        shape = rng.random()
+        if shape < 0.4:
+            payload = size()
+            program.rank(a).append(
+                ProgramOp(kind=OpKind.SEND, peer=b, size=payload, tag=tag)
+            )
+            program.rank(b).append(
+                ProgramOp(kind=OpKind.RECV, peer=a, size=payload, tag=tag)
+            )
+        elif shape < 0.8:
+            payload = size()
+            send_req = next_request[a]
+            next_request[a] += 1
+            recv_req = next_request[b]
+            next_request[b] += 1
+            program.rank(a).append(
+                ProgramOp(kind=OpKind.ISEND, peer=b, size=payload, tag=tag, request=send_req)
+            )
+            program.rank(b).append(
+                ProgramOp(kind=OpKind.IRECV, peer=a, size=payload, tag=tag, request=recv_req)
+            )
+            if rng.random() < 0.5:
+                program.rank(b).append(
+                    ProgramOp(kind=OpKind.COMPUTE, cost=float(rng.uniform(0.05, 1.0)))
+                )
+            program.rank(a).append(ProgramOp(kind=OpKind.WAIT, request=send_req))
+            program.rank(b).append(
+                ProgramOp(kind=OpKind.WAITALL, requests=(recv_req,))
+            )
+        else:
+            # same-size swap: a sendrecv on both ranks (one eager half keeps
+            # the blocking handshake expansion acyclic, so stay below the
+            # rendezvous threshold on one side)
+            payload = int(rng.integers(1, 1024))
+            program.rank(a).append(
+                ProgramOp(
+                    kind=OpKind.SENDRECV, peer=b, size=payload, tag=tag,
+                    recv_peer=b, recv_size=payload, recv_tag=tag,
+                )
+            )
+            program.rank(b).append(
+                ProgramOp(
+                    kind=OpKind.SENDRECV, peer=a, size=payload, tag=tag,
+                    recv_peer=a, recv_size=payload, recv_tag=tag,
+                )
+            )
+    program.validate()
+    return program

@@ -18,9 +18,13 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 __all__ = [
     "MPIOp",
+    "MPI_OP_CODE",
     "TraceRecord",
+    "TraceColumns",
     "RankTrace",
     "Trace",
     "P2P_OPS",
@@ -80,6 +84,10 @@ NONBLOCKING_OPS = frozenset({MPIOp.ISEND, MPIOp.IRECV})
 
 #: operations that neither move data nor synchronise (zero-cost bookkeeping)
 _NOOP_OPS = frozenset({MPIOp.COMM_SIZE, MPIOp.COMM_RANK})
+
+#: stable integer code of every MPI operation (array representation used by
+#: :meth:`RankTrace.columns` and the columnar schedule generator)
+MPI_OP_CODE: dict[MPIOp, int] = {op: index for index, op in enumerate(MPIOp)}
 
 
 @dataclass(frozen=True)
@@ -160,6 +168,35 @@ class TraceRecord:
         return self.op in _NOOP_OPS
 
 
+@dataclass(frozen=True)
+class TraceColumns:
+    """One rank's trace as parallel columns (record order preserved).
+
+    ``code`` holds :data:`MPI_OP_CODE` values; the remaining arrays mirror
+    the :class:`TraceRecord` fields.  ``requests`` stays a plain list because
+    ``MPI_Waitall`` consumes a variable number of handles per record.  This
+    is the zero-conversion entry point of the columnar schedule generator
+    (:func:`repro.schedgen.columnar.batches_from_trace`): the trace is
+    columnarised once and never turned into per-op objects.
+    """
+
+    code: np.ndarray
+    tstart: np.ndarray
+    tend: np.ndarray
+    peer: np.ndarray
+    size: np.ndarray
+    tag: np.ndarray
+    comm_size: np.ndarray
+    request: np.ndarray
+    recv_peer: np.ndarray
+    recv_size: np.ndarray
+    recv_tag: np.ndarray
+    requests: list[tuple[int, ...]]
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+
 @dataclass
 class RankTrace:
     """The trace of a single MPI rank: an ordered list of records."""
@@ -195,6 +232,46 @@ class RankTrace:
         if not self.records:
             return 0.0
         return self.records[-1].tend - self.records[0].tstart
+
+    def columns(self) -> TraceColumns:
+        """Columnarise this rank's records into a :class:`TraceColumns`.
+
+        One pass over the record objects; everything downstream (compute-gap
+        inference, op mapping, segment splitting) then runs as array
+        arithmetic.
+        """
+        n = len(self.records)
+        code = np.empty(n, dtype=np.int16)
+        tstart = np.empty(n, dtype=np.float64)
+        tend = np.empty(n, dtype=np.float64)
+        peer = np.empty(n, dtype=np.int64)
+        size = np.empty(n, dtype=np.int64)
+        tag = np.empty(n, dtype=np.int64)
+        comm_size = np.empty(n, dtype=np.int64)
+        request = np.empty(n, dtype=np.int64)
+        recv_peer = np.empty(n, dtype=np.int64)
+        recv_size = np.empty(n, dtype=np.int64)
+        recv_tag = np.empty(n, dtype=np.int64)
+        requests: list[tuple[int, ...]] = []
+        op_code = MPI_OP_CODE
+        for index, record in enumerate(self.records):
+            code[index] = op_code[record.op]
+            tstart[index] = record.tstart
+            tend[index] = record.tend
+            peer[index] = record.peer
+            size[index] = record.size
+            tag[index] = record.tag
+            comm_size[index] = record.comm_size
+            request[index] = record.request
+            recv_peer[index] = record.recv_peer
+            recv_size[index] = record.recv_size
+            recv_tag[index] = record.recv_tag
+            requests.append(record.requests)
+        return TraceColumns(
+            code=code, tstart=tstart, tend=tend, peer=peer, size=size, tag=tag,
+            comm_size=comm_size, request=request, recv_peer=recv_peer,
+            recv_size=recv_size, recv_tag=recv_tag, requests=requests,
+        )
 
 
 @dataclass

@@ -66,6 +66,133 @@ class TestGraphBuilder:
             GraphBuilder(nranks=0)
 
 
+class TestBulkBuilderAPI:
+    def test_add_vertices_broadcasts_scalars(self):
+        b = GraphBuilder(nranks=4)
+        vids = b.add_vertices(VertexKind.SEND, np.arange(4), size=8, peer=0, tag=3)
+        assert list(vids) == [0, 1, 2, 3]
+        g_vids = b.add_vertices(VertexKind.RECV, 0, size=8, peer=np.arange(4), tag=3)
+        assert list(g_vids) == [4, 5, 6, 7]
+        b.add_comm_edges(vids, g_vids)
+        g = b.freeze(validate=False)
+        assert g.num_vertices == 8 and g.num_edges == 4
+        assert list(g.size) == [8] * 8
+        assert list(g.rank[:4]) == [0, 1, 2, 3]
+        assert list(g.peer[4:]) == [0, 1, 2, 3]
+
+    def test_add_vertices_count_for_all_scalars(self):
+        b = GraphBuilder(nranks=2)
+        vids = b.add_vertices(VertexKind.CALC, 0, cost=1.5, count=3)
+        assert list(vids) == [0, 1, 2]
+        assert b.num_vertices == 3
+
+    def test_add_vertices_requires_length(self):
+        b = GraphBuilder(nranks=2)
+        with pytest.raises(ValueError, match="count"):
+            b.add_vertices(VertexKind.CALC, 0)
+
+    def test_add_vertices_length_mismatch(self):
+        b = GraphBuilder(nranks=2)
+        with pytest.raises(ValueError, match="length mismatch"):
+            b.add_vertices(VertexKind.CALC, np.arange(2), cost=np.zeros(3))
+
+    def test_add_vertices_validation(self):
+        b = GraphBuilder(nranks=2)
+        with pytest.raises(ValueError, match="rank"):
+            b.add_vertices(VertexKind.CALC, np.array([0, 5]))
+        with pytest.raises(ValueError, match="cost"):
+            b.add_vertices(VertexKind.CALC, np.array([0, 1]), cost=np.array([1.0, -1.0]))
+        with pytest.raises(ValueError, match="size"):
+            b.add_vertices(VertexKind.SEND, np.array([0, 1]), size=np.array([1, -1]), peer=0)
+        with pytest.raises(ValueError, match="peer"):
+            b.add_vertices(VertexKind.SEND, np.array([0, 1]), size=8, peer=np.array([0, 9]))
+        # CALC rows never range-check the (unused) peer column
+        b.add_vertices(VertexKind.CALC, np.array([0, 1]), peer=-1)
+        assert b.num_vertices == 2
+
+    def test_add_dependencies_bulk(self):
+        b = GraphBuilder(nranks=1)
+        vids = b.add_vertices(VertexKind.CALC, 0, cost=1.0, count=4)
+        b.add_dependencies(vids[:-1], vids[1:])
+        assert b.num_edges == 3
+        with pytest.raises(ValueError, match="self-dependency"):
+            b.add_dependencies(vids[:1], vids[:1])
+        with pytest.raises(ValueError, match="out of range"):
+            b.add_dependencies(np.array([0]), np.array([99]))
+        with pytest.raises(ValueError, match="length mismatch"):
+            b.add_dependencies(vids[:2], vids[:1])
+
+    def test_add_comm_edges_kind_checked(self):
+        b = GraphBuilder(nranks=2)
+        s = b.add_vertices(VertexKind.SEND, 0, size=8, peer=1, count=1)
+        r = b.add_vertices(VertexKind.RECV, 1, size=8, peer=0, count=1)
+        c = b.add_vertices(VertexKind.CALC, 0, count=1)
+        with pytest.raises(ValueError, match="not a SEND"):
+            b.add_comm_edges(c, r)
+        with pytest.raises(ValueError, match="not a RECV"):
+            b.add_comm_edges(s, c)
+        b.add_comm_edges(s, r)
+        assert b.num_edges == 1
+
+    def test_bulk_growth_beyond_initial_capacity(self):
+        b = GraphBuilder(nranks=1)
+        vids = b.add_vertices(VertexKind.CALC, 0, cost=0.5, count=5000)
+        b.add_dependencies(vids[:-1], vids[1:])
+        g = b.freeze()
+        assert g.num_vertices == 5000 and g.num_edges == 4999
+
+    def test_set_label(self):
+        b = GraphBuilder(nranks=1)
+        vid = b.add_vertices(VertexKind.CALC, 0, count=1)[0]
+        b.set_label(int(vid), "wait")
+        assert b.freeze().labels == {0: "wait"}
+        with pytest.raises(ValueError, match="out of range"):
+            b.set_label(5, "nope")
+
+    def test_scalar_and_bulk_paths_equivalent(self):
+        scalar = GraphBuilder(nranks=2)
+        c = scalar.add_calc(0, 1.0)
+        s = scalar.add_send(0, 1, 64, tag=7)
+        r = scalar.add_recv(1, 0, 64, tag=7)
+        scalar.add_dependency(c, s)
+        scalar.add_comm_edge(s, r)
+        bulk = GraphBuilder(nranks=2)
+        vids = bulk.add_vertices(
+            np.array([VertexKind.CALC, VertexKind.SEND, VertexKind.RECV], dtype=np.int8),
+            np.array([0, 0, 1]),
+            cost=np.array([1.0, 0.0, 0.0]),
+            size=np.array([0, 64, 64]),
+            peer=np.array([-1, 1, 0]),
+            tag=np.array([0, 7, 7]),
+        )
+        bulk.add_dependencies(vids[:1], vids[1:2])
+        bulk.add_comm_edges(vids[1:2], vids[2:3])
+        a, b = scalar.freeze(), bulk.freeze()
+        for name in ("kind", "rank", "cost", "size", "peer", "tag",
+                     "edge_src", "edge_dst", "edge_kind"):
+            assert np.array_equal(getattr(a, name), getattr(b, name)), name
+
+    def test_frozen_graph_detached_from_builder(self):
+        b = GraphBuilder(nranks=1)
+        b.add_calc(0, 1.0)
+        g = b.freeze()
+        b.add_calc(0, 2.0)
+        assert g.num_vertices == 1
+        assert b.num_vertices == 2
+
+
+class TestEdgeArrays:
+    def test_edge_arrays_match_edge_iterator(self):
+        g = small_graph()
+        edge_src, edge_dst, edge_kind = g.edge_arrays()
+        listed = list(g.edges())
+        assert len(listed) == len(edge_src) == g.num_edges
+        for eid, (src, dst, kind) in enumerate(listed):
+            assert edge_src[eid] == src
+            assert edge_dst[eid] == dst
+            assert edge_kind[eid] == int(kind)
+
+
 class TestExecutionGraph:
     def test_stats(self):
         stats = small_graph().stats()

@@ -1,0 +1,412 @@
+"""Parity suite: the columnar schedule-generation engine vs the legacy one.
+
+The contract is *bit identity*: for any program or trace, the columnar
+engine must produce exactly the frozen graph the op-by-op engine produces —
+same vertex ids and attribute columns, same edge order, same labels.  The
+suite sweeps every collective algorithm, rendezvous on/off, random
+point-to-point programs and trace-driven builds, and checks LP-objective
+agreement through the compiled graph→LP engine on top.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lp_builder import COMPILED_ENGINE_THRESHOLD, build_lp
+from repro.mpi import run_program, trace_program
+from repro.mpi.program import OpKind, Program, ProgramOp
+from repro.network.params import LogGPSParams
+from repro.schedgen import (
+    COLLECTIVE_TAG_BASE,
+    RENDEZVOUS_TAG_BASE,
+    USER_TAG_LIMIT,
+    CollectiveAlgorithms,
+    ProtocolConfig,
+    ScheduleGenerator,
+    build_graph,
+    resolve_builder_engine,
+)
+from repro.schedgen.builder import UnmatchedMessageError
+from repro.schedgen.collectives import COLLECTIVE_TAG_LIMIT, next_collective_tag
+from repro.testing import build_random_program
+
+PARAMS = LogGPSParams(L=1.0, o=0.5, g=0.0, G=0.001)
+
+_ARRAYS = ("kind", "rank", "cost", "size", "peer", "tag",
+           "edge_src", "edge_dst", "edge_kind")
+
+
+def assert_identical(legacy, columnar):
+    """Bit-identity of two frozen graphs: columns, edge order, labels."""
+    assert legacy.nranks == columnar.nranks
+    for name in _ARRAYS:
+        expected, actual = getattr(legacy, name), getattr(columnar, name)
+        assert expected.dtype == actual.dtype, name
+        assert np.array_equal(expected, actual), f"{name} differs"
+    assert legacy.labels == columnar.labels
+
+
+def both_engines(program, **kwargs):
+    legacy = build_graph(program, builder_engine="legacy", **kwargs)
+    columnar = build_graph(program, builder_engine="columnar", **kwargs)
+    assert_identical(legacy, columnar)
+    return legacy, columnar
+
+
+class TestCollectiveParity:
+    @pytest.mark.parametrize("nranks", [2, 3, 4, 5, 8, 16])
+    @pytest.mark.parametrize("allreduce", ["recursive_doubling", "ring", "reduce_bcast"])
+    def test_allreduce(self, nranks, allreduce):
+        def app(comm):
+            comm.compute(1.0)
+            comm.allreduce(4096)
+            comm.compute(0.5)
+            comm.allreduce(128)
+
+        both_engines(
+            run_program(app, nranks),
+            algorithms=CollectiveAlgorithms(allreduce=allreduce),
+        )
+
+    @pytest.mark.parametrize("nranks", [2, 3, 5, 8])
+    @pytest.mark.parametrize(
+        "algorithms",
+        [
+            CollectiveAlgorithms(),
+            CollectiveAlgorithms(bcast="linear", allgather="recursive_doubling"),
+        ],
+    )
+    def test_every_collective(self, nranks, algorithms):
+        def app(comm):
+            comm.compute(2.0)
+            comm.bcast(256, root=comm.size - 1)
+            comm.reduce(128, root=0)
+            comm.allreduce(64)
+            comm.allgather(64)
+            comm.alltoall(32)
+            comm.gather(64, root=0)
+            comm.scatter(64, root=comm.size - 1)
+            comm.barrier()
+
+        both_engines(run_program(app, nranks), algorithms=algorithms)
+
+    def test_single_rank_degenerates(self):
+        program = Program.empty(1)
+        program.rank(0).append(ProgramOp(kind=OpKind.COMPUTE, cost=1.0))
+        program.rank(0).append(ProgramOp(kind=OpKind.ALLREDUCE, size=64))
+        program.rank(0).append(ProgramOp(kind=OpKind.COMPUTE, cost=2.0))
+        both_engines(program)
+
+    def test_collective_sequence_mismatch_detected(self):
+        program = Program.empty(2)
+        program.rank(0).append(ProgramOp(kind=OpKind.ALLREDUCE, size=8))
+        program.rank(1).append(ProgramOp(kind=OpKind.BARRIER))
+        with pytest.raises(ValueError):
+            build_graph(program, builder_engine="columnar")
+
+    def test_collective_count_mismatch_detected(self):
+        program = Program.empty(2)
+        program.rank(0).append(ProgramOp(kind=OpKind.BARRIER))
+        with pytest.raises(ValueError, match="collectives"):
+            build_graph(program, builder_engine="columnar")
+
+
+_PROTOCOLS = [
+    None,
+    ProtocolConfig(eager_threshold=1024),
+    ProtocolConfig(eager_threshold=1024, expand_rendezvous=False),
+    ProtocolConfig(eager_threshold=6000),
+]
+
+
+class TestPointToPointParity:
+    @pytest.mark.parametrize("nranks", [2, 3, 4])
+    @pytest.mark.parametrize("protocol", _PROTOCOLS)
+    def test_blocking_and_nonblocking(self, nranks, protocol):
+        def app(comm):
+            for i in range(3):
+                comm.compute(1.0)
+                if comm.rank == 0:
+                    comm.send(1, 5000, tag=i)
+                    comm.recv(1, 64, tag=100 + i)
+                elif comm.rank == 1:
+                    comm.recv(0, 5000, tag=i)
+                    comm.send(0, 64, tag=100 + i)
+            r = comm.irecv((comm.rank + 1) % comm.size, 9000, tag=50)
+            s = comm.isend((comm.rank - 1) % comm.size, 9000, tag=50)
+            comm.compute(3.0)
+            comm.waitall([r, s])
+
+        both_engines(run_program(app, nranks), protocol=protocol)
+
+    @pytest.mark.parametrize("protocol", _PROTOCOLS)
+    def test_sendrecv_ring(self, protocol):
+        # asymmetric sizes keep at most one rendezvous half per rank pair
+        # (the legacy blocking sendrecv expansion deadlocks otherwise)
+        def app(comm):
+            sizes = [7000 if r % 2 == 0 else 300 for r in range(comm.size)]
+            comm.sendrecv(
+                (comm.rank + 1) % comm.size, sizes[comm.rank],
+                (comm.rank - 1) % comm.size, sizes[(comm.rank - 1) % comm.size],
+                send_tag=60, recv_tag=60,
+            )
+
+        both_engines(run_program(app, 4), protocol=protocol)
+
+    def test_wait_immediately_after_isend(self):
+        # the wait join's frontier already is the request target: the
+        # duplicate edge must be suppressed identically in both engines
+        def app(comm):
+            peer = (comm.rank + 1) % comm.size
+            prev = (comm.rank - 1) % comm.size
+            r = comm.irecv(prev, 64, tag=1)
+            s = comm.isend(peer, 64, tag=1)
+            comm.wait(s)
+            comm.wait(r)
+
+        both_engines(run_program(app, 2))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_programs(self, seed):
+        program = build_random_program(seed, nranks=4, rounds=15)
+        for protocol in (None, ProtocolConfig(eager_threshold=8192)):
+            both_engines(program, protocol=protocol)
+
+    def test_wait_on_unknown_request_raises_in_both(self):
+        program = Program.empty(2)
+        program.ranks[0].ops.append(ProgramOp(kind=OpKind.WAIT, request=7))
+        for engine in ("legacy", "columnar"):
+            with pytest.raises(ValueError, match="request"):
+                build_graph(program, builder_engine=engine)
+
+    def test_nonblocking_without_request_raises_in_both(self):
+        # request defaults to -1; both engines must reject it, regardless of
+        # the workload-size-driven auto policy
+        program = Program.empty(2)
+        program.ranks[0].ops.append(ProgramOp(kind=OpKind.ISEND, peer=1, size=8))
+        program.ranks[0].ops.append(ProgramOp(kind=OpKind.WAITALL, requests=(-1,)))
+        program.ranks[1].ops.append(ProgramOp(kind=OpKind.RECV, peer=0, size=8))
+        for engine in ("legacy", "columnar"):
+            with pytest.raises(ValueError, match="without request"):
+                build_graph(program, builder_engine=engine)
+
+    def test_request_reuse_raises_in_both(self):
+        program = Program.empty(2)
+        program.ranks[0].ops.append(ProgramOp(kind=OpKind.ISEND, peer=1, size=8, request=1))
+        program.ranks[0].ops.append(ProgramOp(kind=OpKind.ISEND, peer=1, size=8, request=1))
+        program.ranks[0].ops.append(ProgramOp(kind=OpKind.WAITALL, requests=(1,)))
+        program.ranks[1].ops.append(ProgramOp(kind=OpKind.RECV, peer=0, size=8))
+        program.ranks[1].ops.append(ProgramOp(kind=OpKind.RECV, peer=0, size=8))
+        for engine in ("legacy", "columnar"):
+            with pytest.raises(ValueError, match="reused"):
+                build_graph(program, builder_engine=engine)
+
+    def test_never_completed_request_raises_in_both(self):
+        program = Program.empty(2)
+        program.ranks[0].ops.append(ProgramOp(kind=OpKind.ISEND, peer=1, size=8, request=1))
+        program.ranks[1].ops.append(ProgramOp(kind=OpKind.RECV, peer=0, size=8))
+        for engine in ("legacy", "columnar"):
+            with pytest.raises(ValueError, match="never completed"):
+                build_graph(program, builder_engine=engine)
+
+    def test_unmatched_messages_raise_in_both(self):
+        program = Program.empty(2)
+        program.rank(0).append(ProgramOp(kind=OpKind.SEND, peer=1, size=8, tag=0))
+        for engine in ("legacy", "columnar"):
+            with pytest.raises(UnmatchedMessageError):
+                build_graph(program, builder_engine=engine)
+
+
+class TestTraceParity:
+    def _trace(self, nranks):
+        def app(comm):
+            for i in range(3):
+                comm.compute(5.0)
+                comm.allreduce(2048)
+                peer = (comm.rank + 1) % comm.size
+                prev = (comm.rank - 1) % comm.size
+                r = comm.irecv(prev, 512, tag=i)
+                s = comm.isend(peer, 512, tag=i)
+                comm.compute(0.5)
+                comm.waitall([r, s])
+                if comm.rank == 0:
+                    comm.send(1, 3000, tag=40 + i)
+                elif comm.rank == 1:
+                    comm.recv(0, 3000, tag=40 + i)
+
+        return trace_program(run_program(app, nranks), PARAMS)
+
+    @pytest.mark.parametrize("nranks", [2, 4, 5])
+    @pytest.mark.parametrize(
+        "protocol", [None, ProtocolConfig(eager_threshold=1024)]
+    )
+    def test_trace_builds_bit_identical(self, nranks, protocol):
+        trace = self._trace(nranks)
+        legacy = ScheduleGenerator(
+            protocol=protocol, builder_engine="legacy"
+        ).build_from_trace(trace)
+        columnar = ScheduleGenerator(
+            protocol=protocol, builder_engine="columnar"
+        ).build_from_trace(trace)
+        assert_identical(legacy, columnar)
+
+    def test_min_compute_filter_matches(self):
+        trace = self._trace(4)
+        legacy = ScheduleGenerator(builder_engine="legacy").build_from_trace(
+            trace, min_compute=1.0
+        )
+        columnar = ScheduleGenerator(builder_engine="columnar").build_from_trace(
+            trace, min_compute=1.0
+        )
+        assert_identical(legacy, columnar)
+
+
+class TestLPObjectiveAgreement:
+    def test_compiled_lp_identical_objective(self):
+        def app(comm):
+            for i in range(4):
+                comm.compute(1.0)
+                comm.allreduce(2048)
+
+        program = run_program(app, 8)
+        legacy, columnar = both_engines(program)
+        obj = {}
+        for name, graph in (("legacy", legacy), ("columnar", columnar)):
+            lp = build_lp(graph, PARAMS, engine="compiled")
+            obj[name] = lp.solve_runtime(backend="highs").objective
+        assert obj["legacy"] == pytest.approx(obj["columnar"], abs=1e-9)
+
+    def test_random_program_compiled_vs_symbolic(self):
+        program = build_random_program(3, nranks=3, rounds=10)
+        _, columnar = both_engines(program)
+        compiled = build_lp(columnar, PARAMS, engine="compiled")
+        symbolic = build_lp(columnar, PARAMS, engine="symbolic")
+        assert compiled.solve_runtime(backend="highs").objective == pytest.approx(
+            symbolic.solve_runtime(backend="highs").objective, abs=1e-9
+        )
+
+
+class TestEnginePolicy:
+    def test_auto_threshold_mirrors_lp_engine(self):
+        assert resolve_builder_engine("auto", COMPILED_ENGINE_THRESHOLD - 1) == "legacy"
+        assert resolve_builder_engine("auto", COMPILED_ENGINE_THRESHOLD) == "columnar"
+        assert resolve_builder_engine("legacy", 10**9) == "legacy"
+        assert resolve_builder_engine("columnar", 0) == "columnar"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="builder engine"):
+            resolve_builder_engine("magic", 10)
+        with pytest.raises(ValueError, match="builder engine"):
+            ScheduleGenerator(builder_engine="magic")
+        program = Program.empty(2)
+        program.rank(0).append(ProgramOp(kind=OpKind.BARRIER))
+        program.rank(1).append(ProgramOp(kind=OpKind.BARRIER))
+        with pytest.raises(ValueError, match="builder engine"):
+            build_graph(program, builder_engine="magic")
+
+    def test_auto_default_is_bit_identical_across_threshold(self):
+        def small(comm):
+            comm.barrier()
+
+        def large(comm):
+            for i in range(40):
+                comm.compute(1.0)
+                comm.allreduce(64)
+
+        for app, nranks in ((small, 2), (large, 4)):
+            program = run_program(app, nranks)
+            auto = build_graph(program)
+            legacy, _ = both_engines(program)
+            assert_identical(legacy, auto)
+
+
+class TestTagHygiene:
+    @pytest.mark.parametrize("engine", ["legacy", "columnar"])
+    @pytest.mark.parametrize("bad_tag", [-1, USER_TAG_LIMIT, USER_TAG_LIMIT + 5])
+    def test_out_of_range_user_tag_rejected(self, engine, bad_tag):
+        program = Program.empty(2)
+        program.rank(0).append(ProgramOp(kind=OpKind.SEND, peer=1, size=8, tag=bad_tag))
+        program.rank(1).append(ProgramOp(kind=OpKind.RECV, peer=0, size=8, tag=bad_tag))
+        with pytest.raises(ValueError, match="user tag"):
+            build_graph(program, builder_engine=engine)
+
+    @pytest.mark.parametrize("engine", ["legacy", "columnar"])
+    def test_sendrecv_recv_tag_checked(self, engine):
+        program = Program.empty(2)
+        for rank in range(2):
+            program.rank(rank).append(ProgramOp(
+                kind=OpKind.SENDRECV, peer=1 - rank, size=8, tag=0,
+                recv_peer=1 - rank, recv_size=8, recv_tag=USER_TAG_LIMIT,
+            ))
+        with pytest.raises(ValueError, match="user tag"):
+            build_graph(program, builder_engine=engine)
+
+    @pytest.mark.parametrize("engine", ["legacy", "columnar"])
+    def test_largest_user_tag_cannot_collide(self, engine):
+        """The largest legal user tag keeps all synthetic tags in their regions."""
+        tag = USER_TAG_LIMIT - 1
+
+        def app(comm):
+            if comm.rank == 0:
+                comm.send(1, 1_000_000, tag=tag)
+            else:
+                comm.recv(0, 1_000_000, tag=tag)
+            comm.allreduce(64)
+
+        graph = build_graph(
+            run_program(app, 2),
+            protocol=ProtocolConfig(eager_threshold=1024),
+            builder_engine=engine,
+        )
+        tags = np.asarray(graph.tag)
+        user = tags[tags < USER_TAG_LIMIT]
+        collective = tags[(tags >= COLLECTIVE_TAG_BASE) & (tags < COLLECTIVE_TAG_LIMIT)]
+        rendezvous = tags[tags >= RENDEZVOUS_TAG_BASE]
+        assert len(user) + len(collective) + len(rendezvous) == len(tags)
+        assert rendezvous.max() < 2 * COLLECTIVE_TAG_BASE
+        # the rendezvous handshake of the largest user tag stays above the
+        # collective region even after the allreduce consumed its tag block
+        assert rendezvous.min() >= RENDEZVOUS_TAG_BASE > collective.max()
+
+    def test_regions_are_disjoint_by_construction(self):
+        assert USER_TAG_LIMIT <= COLLECTIVE_TAG_BASE
+        assert COLLECTIVE_TAG_LIMIT == RENDEZVOUS_TAG_BASE
+        assert RENDEZVOUS_TAG_BASE + 4 * USER_TAG_LIMIT <= 2 * COLLECTIVE_TAG_BASE
+
+    def test_collective_tag_space_exhaustion_raises(self):
+        cursor = COLLECTIVE_TAG_LIMIT - 8
+        with pytest.raises(ValueError, match="tag space exhausted"):
+            next_collective_tag(cursor, nranks=64)
+
+    def test_collective_tag_allocation_advances(self):
+        tag, cursor = next_collective_tag(COLLECTIVE_TAG_BASE, nranks=8)
+        assert tag == COLLECTIVE_TAG_BASE
+        assert cursor == COLLECTIVE_TAG_BASE + 4 * 8 + 16
+
+
+class TestGoalColumnarIngestion:
+    def test_round_trip_preserves_graph(self):
+        from repro.schedgen import dumps_goal, loads_goal
+
+        def app(comm):
+            comm.compute(1.0)
+            comm.allreduce(256)
+            if comm.rank == 0:
+                comm.send(1, 64, tag=3)
+            elif comm.rank == 1:
+                comm.recv(0, 64, tag=3)
+
+        graph = build_graph(run_program(app, 4))
+        text = dumps_goal(graph)
+        assert dumps_goal(loads_goal(text)) == text
+
+    def test_unterminated_rank_block_rejected(self):
+        from repro.schedgen import GoalFormatError, loads_goal
+
+        with pytest.raises(GoalFormatError, match="unterminated"):
+            loads_goal("num_ranks 1\n\nrank 0 {\n  l1: calc 100\n  l2: calc 200")
+
+    def test_rank_header_inside_open_block_rejected(self):
+        from repro.schedgen import GoalFormatError, loads_goal
+
+        with pytest.raises(GoalFormatError, match="not closed"):
+            loads_goal("num_ranks 2\n\nrank 0 {\n  l1: calc 100\nrank 1 {\n}\n")
