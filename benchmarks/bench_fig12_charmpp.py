@@ -15,7 +15,7 @@ import numpy as np
 
 from repro import CSCS_TESTBED, LatencyAnalyzer
 from repro.apps import namd
-from repro.simulator import simulate
+from repro.simulator import simulate_sweep
 
 from _bench_utils import emit_json, print_header, print_rows
 
@@ -32,11 +32,11 @@ def _run():
                            recorded_delta_us=recorded)
         analyzer = LatencyAnalyzer(graph, CSCS_TESTBED)
         predicted = [analyzer.predict_runtime(d) for d in EVAL_DELTAS]
-        measured = [simulate(graph, CSCS_TESTBED, delta_L=float(d)).makespan
-                    for d in EVAL_DELTAS]
+        # one batched level-synchronous pass simulates the whole ΔL sweep
+        measured = simulate_sweep(graph, CSCS_TESTBED, EVAL_DELTAS).makespan
         results[recorded] = {
             "predicted": np.asarray(predicted),
-            "measured": np.asarray(measured),
+            "measured": measured,
         }
     return results
 

@@ -92,13 +92,16 @@ def run_validation_sweep(
     repetitions: int = 1,
     backend: str = "highs",
     lp_engine: str = "auto",
+    sim_engine: str = "auto",
 ) -> ValidationSweep:
     """Sweep ΔL, measuring with the simulator and predicting with the LP.
 
     ``repetitions`` simulated runs per ΔL are averaged (the paper averages
     10 real runs); by default a small Gaussian compute noise makes the
     measurement realistically non-deterministic.  ``lp_engine`` selects the
-    LP construction engine (symbolic sweep vs the vectorised compiler).
+    LP construction engine (symbolic sweep vs the vectorised compiler) and
+    ``sim_engine`` the simulation engine (the per-vertex legacy walk vs the
+    level-synchronous vectorised engine; both are timestamp-identical).
     """
     deltas = np.asarray(
         sorted(set(float(d) for d in (delta_Ls if delta_Ls is not None else np.linspace(0, 100, 11)))),
@@ -127,6 +130,7 @@ def run_validation_sweep(
                 params,
                 injector=make_injector(injector, float(delta)),
                 noise=run_noise,
+                sim_engine=sim_engine,
             )
             samples.append(result.makespan)
         measured[i] = float(np.mean(samples))

@@ -81,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "reference path or the columnar bulk-emission engine "
                              "(default: %(default)s, columnar for large schedules; "
                              "both produce bit-identical graphs)")
+    parser.add_argument("--sim-engine", default="auto",
+                        choices=("auto", "legacy", "level"),
+                        help="LogGOPS simulation engine: the per-vertex legacy "
+                             "walk or the level-synchronous vectorised engine "
+                             "(default: %(default)s, level for large graphs; "
+                             "both are timestamp-identical)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_app_args(p: argparse.ArgumentParser) -> None:
@@ -162,7 +168,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     graph = _app_graph(args, params)
     deltas = np.linspace(0.0, args.max_delta, args.points)
     sweep = run_validation_sweep(
-        graph, params, app=args.app, delta_Ls=deltas, lp_engine=args.lp_engine
+        graph, params, app=args.app, delta_Ls=deltas, lp_engine=args.lp_engine,
+        sim_engine=args.sim_engine,
     )
     print(f"{'ΔL [µs]':>10s} {'measured [s]':>14s} {'predicted [s]':>14s} {'λ_L':>10s} {'ρ_L':>8s}")
     for row in sweep.rows():

@@ -97,12 +97,14 @@ class LatencyAnalyzer:
         backend: str = "highs",
         gap_symbolic: bool = False,
         lp_engine: str = "auto",
+        sim_engine: str = "auto",
     ) -> None:
         self.graph = graph
         self.params = params
         self.backend = backend
         self._gap_symbolic = gap_symbolic
         self.lp_engine = lp_engine
+        self.sim_engine = sim_engine
         self._lp: GraphLP | None = None
         self._baseline_runtime: float | None = None
 
@@ -124,6 +126,45 @@ class LatencyAnalyzer:
     def graph_analysis(self, delta_L: float = 0.0) -> CriticalPathResult:
         """The conventional two-pass critical path analysis (baseline method)."""
         return analyze_critical_path(self.graph, self.params.with_delta_latency(delta_L))
+
+    def simulate(self, delta_L: float = 0.0, *, injector=None, noise=None):
+        """One LogGOPS simulation run (the "measured" side of the paper's
+        validation), on the engine selected by ``sim_engine``.
+
+        ``delta_L`` and an explicit ``injector`` are mutually exclusive,
+        exactly as in :func:`repro.simulator.simulate`.
+        """
+        from ..simulator.loggops import simulate
+
+        return simulate(
+            self.graph,
+            self.params,
+            delta_L=delta_L,
+            injector=injector,
+            noise=noise,
+            sim_engine=self.sim_engine,
+        )
+
+    def simulated_sweep(self, delta_Ls, *, injector: str = "ideal", noise=None):
+        """Simulated makespans over a ΔL sweep in one batched level pass.
+
+        Uses :func:`repro.simulator.columnar.simulate_sweep`: every level of
+        the graph advances all sweep points at once (one 2-D array pass), so
+        the whole sweep costs a single traversal.  ``sim_engine="legacy"``
+        falls back to one per-point run per ΔL.
+        """
+        from ..simulator.columnar import simulate_sweep
+        from ..simulator.loggops import resolve_sim_engine
+
+        engine = resolve_sim_engine(self.sim_engine, self.graph.num_vertices)
+        return simulate_sweep(
+            self.graph,
+            self.params,
+            delta_Ls,
+            injector=injector,
+            noise=noise,
+            sim_engine=engine,
+        )
 
     def parametric(self, l_min: float = 0.0, l_max: float = 10_000.0) -> ParametricAnalysis:
         """The exact piecewise-linear ``T(L)`` curve on ``[l_min, l_max]``."""

@@ -73,42 +73,24 @@ def _vertex_cost(graph: ExecutionGraph, params: LogGPSParams, v: int) -> float:
 def forward_pass(graph: ExecutionGraph, params: LogGPSParams) -> np.ndarray:
     """Completion time of every vertex under configuration ``params``.
 
-    Identical semantics to the LP of Algorithm 1 (and to the LogGOPS
-    simulator with ``g = 0`` and no injector): the makespan is
+    Identical semantics to the LP of Algorithm 1: the makespan is
     ``completion.max()``.
 
-    Edge and vertex costs are precomputed as arrays through
-    :meth:`~repro.schedgen.graph.ExecutionGraph.edge_arrays`; the sweep
-    itself runs over plain lists (NumPy scalar indexing would dominate the
-    per-edge work on trace-scale graphs).
+    This is a thin wrapper over the level-synchronous vectorised simulation
+    engine (:func:`repro.simulator.columnar.simulate_level`) with the ideal
+    injector, no noise and no NIC-gap resource — the configuration in which
+    the simulator's timestamps *are* the conventional forward pass.  The
+    Hypothesis property test pinning ``forward_pass == LP optimum`` on
+    random DAGs therefore anchors the level engine against the LP oracle.
     """
-    n = graph.num_vertices
-    edge_src, edge_dst, edge_kind = graph.edge_arrays()
-    comm = edge_kind == int(EdgeKind.COMM)
-    edge_cost = np.where(
-        comm,
-        params.L + np.maximum(graph.size[edge_dst] - 1, 0) * params.G,
-        0.0,
-    )
-    vertex_cost = np.where(
-        graph.kind == int(VertexKind.CALC), graph.cost, params.o
-    )
+    from ..simulator.columnar import simulate_level
+    from ..simulator.injector import IdealInjector
+    from ..simulator.noise import NoNoise
 
-    completion = [0.0] * n
-    sources = edge_src.tolist()
-    costs = edge_cost.tolist()
-    vcosts = vertex_cost.tolist()
-    indptr = graph._pred_indptr.tolist()
-    pred_edges = graph._pred_edges.tolist()
-    for v in graph.topological_order().tolist():
-        ready = 0.0
-        for pos in range(indptr[v], indptr[v + 1]):
-            eid = pred_edges[pos]
-            candidate = completion[sources[eid]] + costs[eid]
-            if candidate > ready:
-                ready = candidate
-        completion[v] = ready + vcosts[v]
-    return np.asarray(completion, dtype=np.float64)
+    result = simulate_level(
+        graph, params, IdealInjector(0.0), NoNoise(), track_nic=False
+    )
+    return result.end
 
 
 def analyze_critical_path(graph: ExecutionGraph, params: LogGPSParams) -> CriticalPathResult:

@@ -399,84 +399,114 @@ def _emit_segment(
     simple = _emit_segment_simple(builder, frontier, batches, slices, protocol)
     if simple:
         return
+    row_parts: list[tuple[np.ndarray, ...]] = []
+    block_ranks: list[int] = []
+    block_lengths: list[int] = []
+    joins: list[tuple[int, list[tuple[str, int]]]] = []
+    row_base = 0
+
+    for rank, (lo, hi) in enumerate(slices):
+        if lo >= hi:
+            continue
+        stage = (
+            _stage_rank
+            if hi - lo >= _STAGE_VECTOR_THRESHOLD
+            else _stage_rank_loop
+        )
+        columns, rank_joins, nrows = stage(
+            rank, batches[rank], lo, hi, protocol, request_state[rank], row_base
+        )
+        joins.extend(rank_joins)
+        if nrows:
+            row_parts.append(columns)
+            block_ranks.append(rank)
+            block_lengths.append(nrows)
+            row_base += nrows
+
+    if not row_base:
+        return
+    _lower_rows(
+        builder,
+        frontier,
+        np.concatenate([part[0] for part in row_parts]),
+        np.concatenate([part[1] for part in row_parts]),
+        np.concatenate([part[2] for part in row_parts]),
+        np.concatenate([part[3] for part in row_parts]),
+        np.concatenate([part[4] for part in row_parts]),
+        np.concatenate([part[5] for part in row_parts]),
+        np.array(block_ranks, dtype=np.int64),
+        np.array(block_lengths, dtype=np.int64),
+        joins,
+        request_state,
+    )
+
+
+#: ops per rank slice above which phase 1 stages through the vectorised
+#: sort-based matcher (:func:`_stage_rank`); below it the sequential loop
+#: (:func:`_stage_rank_loop`) is cheaper — the vectorised path carries a
+#: fixed cost of a few dozen array operations per slice, the loop a few
+#: microseconds per op.  Both produce identical staging output.
+_STAGE_VECTOR_THRESHOLD = 256
+
+
+def _stage_rank_loop(
+    rank: int,
+    batch: RankOpBatch,
+    lo: int,
+    hi: int,
+    protocol,
+    requests: dict[int, tuple[str, int]],
+    row_base: int,
+):
+    """Sequential phase 1 for one short rank slice (the reference staging).
+
+    Same output contract as :func:`_stage_rank`; kept for slices below
+    :data:`_STAGE_VECTOR_THRESHOLD`, where a Python loop beats the fixed
+    overhead of the vectorised matcher.
+    """
     row_kind: list[int] = []
     row_cost: list[float] = []
     row_size: list[int] = []
     row_peer: list[int] = []
     row_tag: list[int] = []
     row_mode: list[int] = []
-    block_ranks: list[int] = []
-    block_lengths: list[int] = []
     joins: list[tuple[int, list[tuple[str, int]]]] = []
 
     threshold = protocol.eager_threshold
     expand_rendezvous = protocol.expand_rendezvous
+    kinds = batch.kind[lo:hi].tolist()
+    costs = batch.cost[lo:hi].tolist()
+    peers = batch.peer[lo:hi].tolist()
+    sizes = batch.size[lo:hi].tolist()
+    tags = batch.tag[lo:hi].tolist()
+    handles = batch.request[lo:hi].tolist()
+    recv_peers = batch.recv_peer[lo:hi].tolist()
+    recv_sizes = batch.recv_size[lo:hi].tolist()
+    recv_tags = batch.recv_tag[lo:hi].tolist()
 
-    for rank, (lo, hi) in enumerate(slices):
-        if lo >= hi:
-            continue
-        batch = batches[rank]
-        requests = request_state[rank]
-        kinds = batch.kind[lo:hi].tolist()
-        costs = batch.cost[lo:hi].tolist()
-        peers = batch.peer[lo:hi].tolist()
-        sizes = batch.size[lo:hi].tolist()
-        tags = batch.tag[lo:hi].tolist()
-        handles = batch.request[lo:hi].tolist()
-        recv_peers = batch.recv_peer[lo:hi].tolist()
-        recv_sizes = batch.recv_size[lo:hi].tolist()
-        recv_tags = batch.recv_tag[lo:hi].tolist()
-        start_rows = len(row_kind)
-
-        for i in range(hi - lo):
-            op_code = kinds[i]
-            if op_code == _C_COMPUTE:
-                compute_cost = costs[i]
-                if compute_cost > 0:
-                    row_kind.append(_V_CALC)
-                    row_cost.append(compute_cost)
-                    row_size.append(0)
-                    row_peer.append(-1)
-                    row_tag.append(0)
-                    row_mode.append(_PLAIN)
-            elif op_code == _C_SEND or op_code == _C_ISEND:
-                message_size = sizes[i]
-                rendezvous = expand_rendezvous and message_size > threshold
-                row_kind.append(_V_SEND)
-                row_cost.append(0.0)
-                row_size.append(message_size)
-                row_peer.append(peers[i])
-                row_tag.append(tags[i])
-                if op_code == _C_SEND:
-                    row_mode.append(_RDV_BLOCK if rendezvous else _PLAIN)
-                else:
-                    row_mode.append(_RDV_ISEND if rendezvous else _PLAIN)
-                    handle = handles[i]
-                    if handle < 0:
-                        raise ValueError(f"rank {rank}: {OP_KINDS[op_code]} without request")
-                    if handle in requests:
-                        raise ValueError(
-                            f"rank {rank}: request {handle} reused before completion"
-                        )
-                    requests[handle] = ("row", len(row_kind) - 1)
-            elif op_code == _C_RECV:
-                message_size = sizes[i]
-                rendezvous = expand_rendezvous and message_size > threshold
-                row_kind.append(_V_RECV)
-                row_cost.append(0.0)
-                row_size.append(message_size)
-                row_peer.append(peers[i])
-                row_tag.append(tags[i])
+    for i in range(hi - lo):
+        op_code = kinds[i]
+        if op_code == _C_COMPUTE:
+            compute_cost = costs[i]
+            if compute_cost > 0:
+                row_kind.append(_V_CALC)
+                row_cost.append(compute_cost)
+                row_size.append(0)
+                row_peer.append(-1)
+                row_tag.append(0)
+                row_mode.append(_PLAIN)
+        elif op_code == _C_SEND or op_code == _C_ISEND:
+            message_size = sizes[i]
+            rendezvous = expand_rendezvous and message_size > threshold
+            row_kind.append(_V_SEND)
+            row_cost.append(0.0)
+            row_size.append(message_size)
+            row_peer.append(peers[i])
+            row_tag.append(tags[i])
+            if op_code == _C_SEND:
                 row_mode.append(_RDV_BLOCK if rendezvous else _PLAIN)
-            elif op_code == _C_IRECV:
-                message_size = sizes[i]
-                rendezvous = expand_rendezvous and message_size > threshold
-                row_kind.append(_V_RECV)
-                row_cost.append(0.0)
-                row_size.append(message_size)
-                row_peer.append(peers[i])
-                row_tag.append(tags[i])
-                row_mode.append(_RDV_IRECV if rendezvous else _POST)
+            else:
+                row_mode.append(_RDV_ISEND if rendezvous else _PLAIN)
                 handle = handles[i]
                 if handle < 0:
                     raise ValueError(f"rank {rank}: {OP_KINDS[op_code]} without request")
@@ -484,68 +514,350 @@ def _emit_segment(
                     raise ValueError(
                         f"rank {rank}: request {handle} reused before completion"
                     )
-                requests[handle] = ("row", len(row_kind) - 1)
-            elif op_code == _C_SENDRECV:
-                send_size = sizes[i]
-                row_kind.append(_V_SEND)
-                row_cost.append(0.0)
-                row_size.append(send_size)
-                row_peer.append(peers[i])
-                row_tag.append(tags[i])
-                row_mode.append(
-                    _RDV_BLOCK if expand_rendezvous and send_size > threshold else _PLAIN
-                )
-                recv_size = recv_sizes[i]
-                row_kind.append(_V_RECV)
-                row_cost.append(0.0)
-                row_size.append(recv_size)
-                row_peer.append(recv_peers[i])
-                row_tag.append(recv_tags[i])
-                row_mode.append(
-                    _RDV_BLOCK if expand_rendezvous and recv_size > threshold else _PLAIN
-                )
-            elif op_code == _C_WAIT or op_code == _C_WAITALL:
-                wanted = [handles[i]] if op_code == _C_WAIT else list(batch.requests[lo + i])
-                targets = []
-                for handle in wanted:
-                    if handle not in requests:
-                        raise ValueError(
-                            f"rank {rank}: wait on unknown request {handle}"
-                        )
-                    targets.append(requests.pop(handle))
-                joins.append((len(row_kind), targets))
-                row_kind.append(_V_CALC)
-                row_cost.append(0.0)
-                row_size.append(0)
-                row_peer.append(-1)
-                row_tag.append(0)
-                row_mode.append(_JOIN)
-            else:
+                requests[handle] = ("row", row_base + len(row_kind) - 1)
+        elif op_code == _C_RECV:
+            message_size = sizes[i]
+            rendezvous = expand_rendezvous and message_size > threshold
+            row_kind.append(_V_RECV)
+            row_cost.append(0.0)
+            row_size.append(message_size)
+            row_peer.append(peers[i])
+            row_tag.append(tags[i])
+            row_mode.append(_RDV_BLOCK if rendezvous else _PLAIN)
+        elif op_code == _C_IRECV:
+            message_size = sizes[i]
+            rendezvous = expand_rendezvous and message_size > threshold
+            row_kind.append(_V_RECV)
+            row_cost.append(0.0)
+            row_size.append(message_size)
+            row_peer.append(peers[i])
+            row_tag.append(tags[i])
+            row_mode.append(_RDV_IRECV if rendezvous else _POST)
+            handle = handles[i]
+            if handle < 0:
+                raise ValueError(f"rank {rank}: {OP_KINDS[op_code]} without request")
+            if handle in requests:
                 raise ValueError(
-                    f"unexpected operation {OP_KINDS[op_code]} in point-to-point segment"
+                    f"rank {rank}: request {handle} reused before completion"
                 )
+            requests[handle] = ("row", row_base + len(row_kind) - 1)
+        elif op_code == _C_SENDRECV:
+            send_size = sizes[i]
+            row_kind.append(_V_SEND)
+            row_cost.append(0.0)
+            row_size.append(send_size)
+            row_peer.append(peers[i])
+            row_tag.append(tags[i])
+            row_mode.append(
+                _RDV_BLOCK if expand_rendezvous and send_size > threshold else _PLAIN
+            )
+            recv_size = recv_sizes[i]
+            row_kind.append(_V_RECV)
+            row_cost.append(0.0)
+            row_size.append(recv_size)
+            row_peer.append(recv_peers[i])
+            row_tag.append(recv_tags[i])
+            row_mode.append(
+                _RDV_BLOCK if expand_rendezvous and recv_size > threshold else _PLAIN
+            )
+        elif op_code == _C_WAIT or op_code == _C_WAITALL:
+            wanted = [handles[i]] if op_code == _C_WAIT else list(batch.requests[lo + i])
+            targets = []
+            for handle in wanted:
+                if handle not in requests:
+                    raise ValueError(
+                        f"rank {rank}: wait on unknown request {handle}"
+                    )
+                targets.append(requests.pop(handle))
+            joins.append((row_base + len(row_kind), targets))
+            row_kind.append(_V_CALC)
+            row_cost.append(0.0)
+            row_size.append(0)
+            row_peer.append(-1)
+            row_tag.append(0)
+            row_mode.append(_JOIN)
+        else:
+            raise ValueError(
+                f"unexpected operation {OP_KINDS[op_code]} in point-to-point segment"
+            )
 
-        emitted = len(row_kind) - start_rows
-        if emitted:
-            block_ranks.append(rank)
-            block_lengths.append(emitted)
-
-    if not row_kind:
-        return
-    _lower_rows(
-        builder,
-        frontier,
+    columns = (
         np.array(row_kind, dtype=np.int8),
         np.array(row_cost, dtype=np.float64),
         np.array(row_size, dtype=np.int64),
         np.array(row_peer, dtype=np.int64),
         np.array(row_tag, dtype=np.int64),
         np.array(row_mode, dtype=np.int8),
-        np.array(block_ranks, dtype=np.int64),
-        np.array(block_lengths, dtype=np.int64),
-        joins,
-        request_state,
     )
+    return columns, joins, len(row_kind)
+
+
+#: event codes of the sort-based request matcher (phase 1, vectorised)
+_EV_POST = 0
+_EV_CONSUME = 1
+
+#: staging-error codes, raised in first-op-position order like the old
+#: sequential staging loop would
+_ERR_UNEXPECTED = 0
+_ERR_NO_REQUEST = 1
+_ERR_REUSED = 2
+_ERR_UNKNOWN = 3
+
+
+def _stage_rank(
+    rank: int,
+    batch: RankOpBatch,
+    lo: int,
+    hi: int,
+    protocol,
+    pending: dict[int, tuple[str, int]],
+    row_base: int,
+):
+    """Vectorised phase 1 for one rank's op slice (any op mix).
+
+    Lowers the slice to eager rows with a handful of array passes: row
+    layout by per-op row counts, column scatter per op class, and
+    **sort-based request matching by handle** — posts (``isend``/``irecv``)
+    and consumptions (``wait``/``waitall``, one event per listed handle)
+    are sorted by ``(handle, op position, slot)``; within one handle the
+    events must alternate post/consume starting from the pending state
+    carried over from earlier segments, which is exactly the sequential
+    dict semantics.  Returns ``(columns, joins, nrows)`` with join row
+    indices already offset by ``row_base``; ``pending`` is updated in place
+    to the handles still open after this segment.
+    """
+    kinds = batch.kind[lo:hi]
+    n_ops = len(kinds)
+    sizes = batch.size[lo:hi]
+    costs = batch.cost[lo:hi]
+
+    violations: list[tuple[int, int, int]] = []  # (op position, error, payload)
+    unexpected = kinds > _C_SENDRECV
+    if np.any(unexpected):
+        at = int(np.argmax(unexpected))
+        violations.append((at, _ERR_UNEXPECTED, int(kinds[at])))
+
+    # ------------------------------------------------------------------
+    # row layout: per-op row counts -> row offsets
+    # ------------------------------------------------------------------
+    is_compute = kinds == _C_COMPUTE
+    rows_per_op = np.ones(n_ops, dtype=np.int64)
+    rows_per_op[is_compute] = (costs[is_compute] > 0).astype(np.int64)
+    rows_per_op[kinds == _C_SENDRECV] = 2
+    ends = np.cumsum(rows_per_op)
+    offsets = ends - rows_per_op
+    nrows = int(ends[-1]) if n_ops else 0
+
+    row_kind = np.empty(nrows, dtype=np.int8)
+    row_cost = np.zeros(nrows, dtype=np.float64)
+    row_size = np.zeros(nrows, dtype=np.int64)
+    row_peer = np.full(nrows, -1, dtype=np.int64)
+    row_tag = np.zeros(nrows, dtype=np.int64)
+    row_mode = np.zeros(nrows, dtype=np.int8)
+
+    threshold = protocol.eager_threshold
+    expand = protocol.expand_rendezvous
+    rendezvous = (sizes > threshold) if expand else np.zeros(n_ops, dtype=bool)
+
+    kept_compute = is_compute & (rows_per_op > 0)
+    pos = offsets[kept_compute]
+    row_kind[pos] = _V_CALC
+    row_cost[pos] = costs[kept_compute]
+
+    send_ops = (kinds == _C_SEND) | (kinds == _C_ISEND)
+    pos = offsets[send_ops]
+    row_kind[pos] = _V_SEND
+    row_size[pos] = sizes[send_ops]
+    row_peer[pos] = batch.peer[lo:hi][send_ops]
+    row_tag[pos] = batch.tag[lo:hi][send_ops]
+    row_mode[pos] = np.where(
+        rendezvous[send_ops],
+        np.where(kinds[send_ops] == _C_SEND, _RDV_BLOCK, _RDV_ISEND),
+        _PLAIN,
+    ).astype(np.int8)
+
+    recv_ops = (kinds == _C_RECV) | (kinds == _C_IRECV)
+    pos = offsets[recv_ops]
+    row_kind[pos] = _V_RECV
+    row_size[pos] = sizes[recv_ops]
+    row_peer[pos] = batch.peer[lo:hi][recv_ops]
+    row_tag[pos] = batch.tag[lo:hi][recv_ops]
+    row_mode[pos] = np.where(
+        rendezvous[recv_ops],
+        np.where(kinds[recv_ops] == _C_RECV, _RDV_BLOCK, _RDV_IRECV),
+        np.where(kinds[recv_ops] == _C_RECV, _PLAIN, _POST),
+    ).astype(np.int8)
+
+    sendrecv_ops = kinds == _C_SENDRECV
+    if np.any(sendrecv_ops):
+        pos = offsets[sendrecv_ops]
+        row_kind[pos] = _V_SEND
+        row_size[pos] = sizes[sendrecv_ops]
+        row_peer[pos] = batch.peer[lo:hi][sendrecv_ops]
+        row_tag[pos] = batch.tag[lo:hi][sendrecv_ops]
+        row_mode[pos] = np.where(rendezvous[sendrecv_ops], _RDV_BLOCK, _PLAIN)
+        recv_sizes = batch.recv_size[lo:hi][sendrecv_ops]
+        row_kind[pos + 1] = _V_RECV
+        row_size[pos + 1] = recv_sizes
+        row_peer[pos + 1] = batch.recv_peer[lo:hi][sendrecv_ops]
+        row_tag[pos + 1] = batch.recv_tag[lo:hi][sendrecv_ops]
+        recv_rendezvous = (recv_sizes > threshold) if expand else np.zeros(
+            int(sendrecv_ops.sum()), dtype=bool
+        )
+        row_mode[pos + 1] = np.where(recv_rendezvous, _RDV_BLOCK, _PLAIN)
+
+    wait_ops = (kinds == _C_WAIT) | (kinds == _C_WAITALL)
+    pos = offsets[wait_ops]
+    row_kind[pos] = _V_CALC
+    row_mode[pos] = _JOIN
+
+    # ------------------------------------------------------------------
+    # sort-based request matching by handle
+    # ------------------------------------------------------------------
+    post_ops = np.flatnonzero((kinds == _C_ISEND) | (kinds == _C_IRECV))
+    post_handles = batch.request[lo:hi][post_ops]
+    negative = post_handles < 0
+    if np.any(negative):
+        at = int(np.argmax(negative))
+        violations.append(
+            (int(post_ops[at]), _ERR_NO_REQUEST, int(kinds[post_ops[at]]))
+        )
+
+    wait_positions = np.flatnonzero(kinds == _C_WAIT)
+    waitall_positions = np.flatnonzero(kinds == _C_WAITALL)
+    waitall_requests = [batch.requests[lo + int(i)] for i in waitall_positions]
+    waitall_counts = np.array(
+        [len(req) for req in waitall_requests], dtype=np.int64
+    )
+    consume_ops = np.concatenate([
+        wait_positions,
+        np.repeat(waitall_positions, waitall_counts),
+    ])
+    consume_handles = np.concatenate([
+        batch.request[lo:hi][wait_positions],
+        np.fromiter(
+            (h for req in waitall_requests for h in req),
+            dtype=np.int64,
+            count=int(waitall_counts.sum()),
+        ),
+    ])
+    consume_slots = np.concatenate([
+        np.zeros(len(wait_positions), dtype=np.int64),
+        np.concatenate([np.arange(c, dtype=np.int64) for c in waitall_counts])
+        if len(waitall_counts)
+        else np.empty(0, dtype=np.int64),
+    ])
+    # (op position, slot) order: ``wait`` and ``waitall`` ops interleave
+    consume_order = np.lexsort((consume_slots, consume_ops))
+    consume_ops = consume_ops[consume_order]
+    consume_handles = consume_handles[consume_order]
+    consume_slots = consume_slots[consume_order]
+
+    pending_handles = np.fromiter(pending.keys(), dtype=np.int64, count=len(pending))
+    n_pend, n_post, n_cons = len(pending_handles), len(post_ops), len(consume_ops)
+
+    joins: list[tuple[int, list[tuple[str, int]]]] = []
+    leftovers: dict[int, tuple[str, int]] = {}
+    if n_post or n_cons:
+        ev_handle = np.concatenate([pending_handles, post_handles, consume_handles])
+        ev_pos = np.concatenate([
+            np.full(n_pend, -1, dtype=np.int64), post_ops, consume_ops,
+        ])
+        ev_slot = np.concatenate([
+            np.zeros(n_pend, dtype=np.int64),
+            np.zeros(n_post, dtype=np.int64),
+            consume_slots,
+        ])
+        ev_type = np.concatenate([
+            np.full(n_pend + n_post, _EV_POST, dtype=np.int64),
+            np.full(n_cons, _EV_CONSUME, dtype=np.int64),
+        ])
+        order = np.lexsort((ev_slot, ev_pos, ev_handle))
+        handle_sorted = ev_handle[order]
+        type_sorted = ev_type[order]
+        first = np.empty(len(order), dtype=bool)
+        first[0] = True
+        np.not_equal(handle_sorted[1:], handle_sorted[:-1], out=first[1:])
+        prev_type = np.empty(len(order), dtype=np.int64)
+        prev_type[0] = _EV_CONSUME
+        prev_type[1:] = np.where(first[1:], _EV_CONSUME, type_sorted[:-1])
+        bad = type_sorted == prev_type
+        if np.any(bad):
+            for at in np.flatnonzero(bad).tolist():
+                position = int(ev_pos[order[at]])
+                handle = int(handle_sorted[at])
+                if type_sorted[at] == _EV_POST:
+                    violations.append((position, _ERR_REUSED, handle))
+                else:
+                    violations.append((position, _ERR_UNKNOWN, handle))
+        if not violations:
+            # each consume matches the event right before it in its group (a
+            # post, by the alternation just checked); resolve the payload
+            matched = order[np.flatnonzero(type_sorted == _EV_CONSUME) - 1]
+            targets: list[tuple[str, int]] = []
+            for source in matched.tolist():
+                if source < n_pend:
+                    targets.append(pending[int(ev_handle[source])])
+                else:
+                    targets.append(
+                        ("row", row_base + int(offsets[ev_pos[source]]))
+                    )
+            # ``targets`` is in sorted-event order; map it back to the
+            # original consume order (op position, then slot)
+            order_of_consume = np.empty(n_cons, dtype=np.int64)
+            consume_sorted_positions = np.flatnonzero(type_sorted == _EV_CONSUME)
+            order_of_consume[order[consume_sorted_positions] - n_pend - n_post] = (
+                np.arange(n_cons, dtype=np.int64)
+            )
+            target_by_op: dict[int, list[tuple[str, int]]] = {
+                int(p): [] for p in np.flatnonzero(wait_ops).tolist()
+            }
+            for orig in range(n_cons):
+                target_by_op[int(consume_ops[orig])].append(
+                    targets[int(order_of_consume[orig])]
+                )
+            # one join per wait/waitall op in op order (empty waitalls
+            # included: they still emit a labelled join vertex)
+            joins.extend(
+                (row_base + int(offsets[p]), found)
+                for p, found in target_by_op.items()
+            )
+            # handles whose last event is a post stay pending
+            last = np.empty(len(order), dtype=bool)
+            last[-1] = True
+            np.not_equal(handle_sorted[1:], handle_sorted[:-1], out=last[:-1])
+            open_events = order[last & (type_sorted == _EV_POST)]
+            for source in open_events.tolist():
+                handle = int(ev_handle[source])
+                if source < n_pend:
+                    leftovers[handle] = pending[handle]
+                else:
+                    leftovers[handle] = (
+                        "row", row_base + int(offsets[ev_pos[source]])
+                    )
+    else:
+        leftovers = dict(pending)
+        for p in np.flatnonzero(wait_ops).tolist():
+            joins.append((row_base + int(offsets[p]), []))
+
+    if violations:
+        position, error, payload = min(violations)
+        if error == _ERR_UNEXPECTED:
+            raise ValueError(
+                f"unexpected operation {OP_KINDS[payload]} in point-to-point segment"
+            )
+        if error == _ERR_NO_REQUEST:
+            raise ValueError(f"rank {rank}: {OP_KINDS[payload]} without request")
+        if error == _ERR_REUSED:
+            raise ValueError(
+                f"rank {rank}: request {payload} reused before completion"
+            )
+        raise ValueError(f"rank {rank}: wait on unknown request {payload}")
+
+    pending.clear()
+    pending.update(leftovers)
+    columns = (row_kind, row_cost, row_size, row_peer, row_tag, row_mode)
+    return columns, joins, nrows
 
 
 def _emit_segment_simple(

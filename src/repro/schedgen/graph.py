@@ -462,6 +462,8 @@ class ExecutionGraph:
         )
         self._topo_order: np.ndarray | None = None
         self._topo_positions: np.ndarray | None = None
+        self._level_indptr: np.ndarray | None = None
+        self._level_of: np.ndarray | None = None
         self._chain_parent: np.ndarray | None = None
         self._chain_in_edge: np.ndarray | None = None
         self._num_edges = m
@@ -603,37 +605,120 @@ class ExecutionGraph:
     # -- algorithms ----------------------------------------------------------
 
     def topological_order(self) -> np.ndarray:
-        """Return a topological ordering of the vertex ids (cached)."""
+        """Return *the* canonical topological ordering of the vertex ids (cached).
+
+        The order follows the **deterministic order contract** shared by the
+        LP compiler's variable ordering, the simulators and the symbolic
+        Algorithm 1 sweep: vertices are sorted **level-major** (by longest-path
+        depth, see :meth:`topo_levels`) and **vertex-id-minor** within a
+        level.  It is served from the vectorised level structure — there is no
+        per-vertex Kahn loop.
+        """
         if self._topo_order is None:
-            self._topo_order = self._compute_topological_order()
+            self._compute_levels()
         return self._topo_order
 
-    def _compute_topological_order(self) -> np.ndarray:
-        n = self.num_vertices
-        # Kahn's algorithm with an explicit stack (deterministic order).  The
-        # loop runs over plain Python lists: element access on NumPy arrays
-        # costs ~10x a list index, which dominated freeze() on large graphs.
-        indeg_array = np.diff(self._pred_indptr)
-        indeg = indeg_array.tolist()
-        succ_indptr = self._succ_indptr.tolist()
-        succ_indices = self._succ_indices.tolist()
-        stack = np.flatnonzero(indeg_array == 0)[::-1].tolist()
-        order: list[int] = []
-        append_order = order.append
-        append_stack = stack.append
-        while stack:
-            v = stack.pop()
-            append_order(v)
-            for u in succ_indices[succ_indptr[v]: succ_indptr[v + 1]]:
-                remaining = indeg[u] - 1
-                indeg[u] = remaining
-                if not remaining:
-                    append_stack(u)
-        if len(order) != n:
-            raise GraphValidationError(
-                f"graph contains a cycle: only {len(order)} of {n} vertices were ordered"
+    def topo_levels(self) -> tuple[np.ndarray, np.ndarray]:
+        """The topological *level* structure ``(indptr, order)`` (cached).
+
+        ``order`` is :meth:`topological_order`; level ``k`` consists of the
+        vertices ``order[indptr[k]:indptr[k + 1]]``, in ascending vertex id.
+        Level ``k`` contains exactly the vertices whose longest incoming path
+        has ``k`` edges, so all predecessors of a level-``k`` vertex live in
+        levels ``< k`` — whole levels can be processed at once (the
+        foundation of the level-synchronous simulation engine,
+        :mod:`repro.simulator.columnar`).
+
+        Computed by vectorised CSR frontier peeling: repeatedly emit the
+        in-degree-zero frontier and decrement the in-degrees of its
+        successors with one ``np.unique`` pass per level.
+        """
+        if self._level_indptr is None:
+            self._compute_levels()
+        return self._level_indptr, self._topo_order
+
+    def level_of(self) -> np.ndarray:
+        """The topological level of every vertex as one array (cached)."""
+        if self._level_of is None:
+            indptr, order = self.topo_levels()
+            widths = np.diff(indptr)
+            level = np.empty(self.num_vertices, dtype=np.int64)
+            level[order] = np.repeat(
+                np.arange(len(widths), dtype=np.int64), widths
             )
-        return np.asarray(order, dtype=np.int64)
+            self._level_of = level
+        return self._level_of
+
+    @property
+    def num_levels(self) -> int:
+        """Number of topological levels (the graph's longest-path depth + 1)."""
+        return len(self.topo_levels()[0]) - 1
+
+    #: frontier width below which the peeling loop leaves NumPy: each level
+    #: costs a fixed ~20 array operations, so narrow-deep graphs (per-rank
+    #: chains) are cheaper to finish with plain list arithmetic
+    _LIST_PEEL_WIDTH = 32
+
+    def _compute_levels(self) -> None:
+        n = self.num_vertices
+        indeg = np.diff(self._pred_indptr)
+        succ_indptr = self._succ_indptr
+        succ_indices = self._succ_indices
+        frontier = np.flatnonzero(indeg == 0)
+        indeg = indeg.copy()
+        parts: list[np.ndarray] = []
+        bounds: list[int] = [0]
+        done = 0
+        while frontier.size >= self._LIST_PEEL_WIDTH:
+            parts.append(frontier)
+            done += len(frontier)
+            bounds.append(done)
+            starts = succ_indptr[frontier]
+            counts = succ_indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if not total:
+                frontier = np.empty(0, dtype=np.int64)
+                break
+            shift = np.cumsum(counts) - counts
+            targets = succ_indices[
+                np.repeat(starts - shift, counts) + np.arange(total, dtype=np.int64)
+            ]
+            uniq, dec = np.unique(targets, return_counts=True)
+            remaining = indeg[uniq] - dec
+            indeg[uniq] = remaining
+            frontier = uniq[remaining == 0]
+        if frontier.size:
+            # narrow frontier: finish in list space (one-way hand-off) — the
+            # per-level NumPy overhead dominates once levels hold only a few
+            # vertices, e.g. deep per-rank op chains
+            indeg_list = indeg.tolist()
+            indptr_list = succ_indptr.tolist()
+            succ_list = succ_indices.tolist()
+            wave = sorted(frontier.tolist())
+            while wave:
+                parts.append(np.asarray(wave, dtype=np.int64))
+                done += len(wave)
+                bounds.append(done)
+                nxt: list[int] = []
+                for v in wave:
+                    for u in succ_list[indptr_list[v]: indptr_list[v + 1]]:
+                        remaining = indeg_list[u] - 1
+                        indeg_list[u] = remaining
+                        if not remaining:
+                            nxt.append(u)
+                nxt.sort()
+                wave = nxt
+        if done != n:
+            raise GraphValidationError(
+                f"graph contains a cycle: only {done} of {n} vertices were ordered"
+            )
+        order = (
+            np.concatenate(parts).astype(np.int64, copy=False)
+            if parts
+            else np.empty(0, dtype=np.int64)
+        )
+        self._topo_order = order
+        self._level_indptr = np.asarray(bounds, dtype=np.int64)
 
     def validate(self) -> None:
         """Check structural invariants; raise :class:`GraphValidationError` otherwise.

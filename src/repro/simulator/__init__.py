@@ -1,5 +1,6 @@
 """LogGOPS discrete-event simulation, latency injection and noise models."""
 
+from .columnar import SweepSimulationResult, simulate_level, simulate_sweep
 from .injector import (
     INJECTOR_NAMES,
     DelayThreadInjector,
@@ -11,13 +12,24 @@ from .injector import (
     make_injector,
     two_message_model,
 )
-from .loggops import LogGOPSSimulator, SimulationResult, simulate
+from .loggops import (
+    SIM_ENGINES,
+    LogGOPSSimulator,
+    SimulationResult,
+    resolve_sim_engine,
+    simulate,
+)
 from .noise import GaussianNoise, NoiseModel, NoNoise, OSJitterNoise
 
 __all__ = [
     "LogGOPSSimulator",
     "SimulationResult",
+    "SweepSimulationResult",
     "simulate",
+    "simulate_level",
+    "simulate_sweep",
+    "SIM_ENGINES",
+    "resolve_sim_engine",
     "LatencyInjector",
     "IdealInjector",
     "SenderDelayInjector",

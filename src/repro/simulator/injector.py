@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol
 
+import numpy as np
+
 from ..network.params import LogGPSParams
 
 __all__ = [
@@ -52,6 +54,15 @@ class LatencyInjector(Protocol):
     the sender's CPU; ``release_time`` maps a message's nominal arrival time
     at the destination rank to the time at which the application may observe
     it.
+
+    The batch counterparts ``send_extra_delays`` / ``release_times`` are the
+    level-synchronous engine's entry points
+    (:mod:`repro.simulator.columnar`): one call covers a whole topological
+    level of messages.  Stateful policies must process the entries FIFO in
+    presentation order — the engines present messages in the shared
+    deterministic order (level-major, vertex-id-minor, edge-id within one
+    vertex), so a batch call is observationally identical to the equivalent
+    sequence of scalar calls.
     """
 
     delta: float
@@ -65,12 +76,29 @@ class LatencyInjector(Protocol):
     def release_time(self, dst_rank: int, arrival: float) -> float:
         """Time at which a message arriving at ``arrival`` is handed to the app."""
 
+    def send_extra_delays(self, src_ranks: np.ndarray) -> np.ndarray:
+        """Vectorised ``send_extra_delay`` for one batch of send vertices."""
+
+    def release_times(self, dst_ranks: np.ndarray, arrivals: np.ndarray) -> np.ndarray:
+        """Vectorised ``release_time`` for one batch of messages.
+
+        Equivalent to calling :meth:`release_time` once per entry, in input
+        order (the order is part of the contract for stateful policies).
+        """
+
 
 @dataclass
 class IdealInjector:
     """Strategy A: ΔL is added to the wire latency itself."""
 
     delta: float = 0.0
+
+    #: extra wire latency added to every arrival — the level engine folds
+    #: this constant into the precomputed edge costs (zero per-level work)
+    wire_delta: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.wire_delta = self.delta
 
     def reset(self) -> None:  # pragma: no cover - stateless
         return
@@ -80,6 +108,12 @@ class IdealInjector:
 
     def release_time(self, dst_rank: int, arrival: float) -> float:
         return arrival + self.delta
+
+    def send_extra_delays(self, src_ranks: np.ndarray) -> np.ndarray:
+        return np.zeros(len(src_ranks), dtype=np.float64)
+
+    def release_times(self, dst_ranks: np.ndarray, arrivals: np.ndarray) -> np.ndarray:
+        return np.asarray(arrivals, dtype=np.float64) + self.delta
 
 
 @dataclass
@@ -93,6 +127,13 @@ class SenderDelayInjector:
 
     delta: float = 0.0
 
+    #: no wire-side delay: the level engine folds zero into the edge costs
+    #: and adds :attr:`delta` to every send duration instead
+    wire_delta: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.wire_delta = 0.0
+
     def reset(self) -> None:  # pragma: no cover - stateless
         return
 
@@ -102,10 +143,23 @@ class SenderDelayInjector:
     def release_time(self, dst_rank: int, arrival: float) -> float:
         return arrival
 
+    def send_extra_delays(self, src_ranks: np.ndarray) -> np.ndarray:
+        return np.full(len(src_ranks), self.delta, dtype=np.float64)
+
+    def release_times(self, dst_ranks: np.ndarray, arrivals: np.ndarray) -> np.ndarray:
+        return np.asarray(arrivals, dtype=np.float64)
+
 
 @dataclass
 class ReceiverProgressInjector:
-    """Strategy C: a single receiver-side progress thread serialises delays."""
+    """Strategy C: a single receiver-side progress thread serialises delays.
+
+    The only stateful strategy: messages bound for one rank queue behind
+    that rank's progress thread.  The thread serves them FIFO in the order
+    they are handed to it — for the simulators that is the shared
+    deterministic order (level-major, vertex-id-minor), so the scalar and
+    batch entry points produce identical release times.
+    """
 
     delta: float = 0.0
     _busy_until: dict[int, float] = field(default_factory=dict)
@@ -122,6 +176,38 @@ class ReceiverProgressInjector:
         self._busy_until[dst_rank] = release
         return release
 
+    def send_extra_delays(self, src_ranks: np.ndarray) -> np.ndarray:
+        return np.zeros(len(src_ranks), dtype=np.float64)
+
+    def release_times(self, dst_ranks: np.ndarray, arrivals: np.ndarray) -> np.ndarray:
+        """FIFO-serialise one batch per destination rank (vectorised).
+
+        Within the batch, entries of one rank are served in input order:
+        ``release_i = max(arrival_i, busy) + delta`` with ``busy`` advancing
+        to ``release_i`` — exactly the scalar recurrence.  Ranks are
+        independent, so the batch is processed as a grouped scan: the
+        ``j``-th message of every rank is handled in one array step.
+        """
+        dst_ranks = np.asarray(dst_ranks, dtype=np.int64)
+        arrivals = np.asarray(arrivals, dtype=np.float64)
+        releases = np.empty_like(arrivals)
+        if not len(arrivals):
+            return releases
+        order, group_starts, group_ranks, counts = group_by_rank(dst_ranks)
+        busy = np.array(
+            [self._busy_until.get(int(r), 0.0) for r in group_ranks],
+            dtype=np.float64,
+        )
+        for j in range(int(counts.max())):
+            active = counts > j
+            idx = order[group_starts[active] + j]
+            rel = np.maximum(arrivals[idx], busy[active]) + self.delta
+            busy[active] = rel
+            releases[idx] = rel
+        for r, b in zip(group_ranks.tolist(), busy.tolist()):
+            self._busy_until[int(r)] = float(b)
+        return releases
+
 
 @dataclass
 class DelayThreadInjector:
@@ -134,6 +220,11 @@ class DelayThreadInjector:
 
     delta: float = 0.0
 
+    wire_delta: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.wire_delta = self.delta
+
     def reset(self) -> None:  # pragma: no cover - stateless
         return
 
@@ -142,6 +233,33 @@ class DelayThreadInjector:
 
     def release_time(self, dst_rank: int, arrival: float) -> float:
         return arrival + self.delta
+
+    def send_extra_delays(self, src_ranks: np.ndarray) -> np.ndarray:
+        return np.zeros(len(src_ranks), dtype=np.float64)
+
+    def release_times(self, dst_ranks: np.ndarray, arrivals: np.ndarray) -> np.ndarray:
+        return np.asarray(arrivals, dtype=np.float64) + self.delta
+
+
+def group_by_rank(ranks: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Group a batch of rank ids, preserving presentation order per rank.
+
+    Returns ``(order, group_starts, group_ranks, counts)``: ``order`` is the
+    stable sort of ``ranks``; group ``i`` consists of the input positions
+    ``order[group_starts[i] + j]`` for ``j < counts[i]``, in presentation
+    order.  Shared by every grouped serialisation scan of the simulators —
+    the NIC-gap recurrence and the receiver-progress queue both walk the
+    ``j``-th entry of every rank in one array step.
+    """
+    order = np.argsort(ranks, kind="stable")
+    sorted_ranks = ranks[order]
+    first = np.empty(len(order), dtype=bool)
+    first[0] = True
+    np.not_equal(sorted_ranks[1:], sorted_ranks[:-1], out=first[1:])
+    group_starts = np.flatnonzero(first)
+    group_ranks = sorted_ranks[group_starts]
+    counts = np.diff(np.append(group_starts, len(order)))
+    return order, group_starts, group_ranks, counts
 
 
 INJECTOR_NAMES = ("ideal", "sender_delay", "receiver_progress", "delay_thread")

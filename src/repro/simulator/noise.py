@@ -18,13 +18,25 @@ __all__ = ["NoiseModel", "NoNoise", "GaussianNoise", "OSJitterNoise"]
 
 
 class NoiseModel(Protocol):
-    """Perturbs the duration of computation vertices."""
+    """Perturbs the duration of computation vertices.
+
+    ``perturb_many`` is the batch entry point of the level-synchronous
+    engine (:mod:`repro.simulator.columnar`): it must consume the model's
+    RNG exactly as the equivalent sequence of scalar :meth:`perturb` calls
+    would (NumPy ``Generator`` draws are stream-equivalent between scalar
+    and vectorised calls), so the two simulation engines perturb
+    identically.  ``reset`` re-seeds the RNG, which makes back-to-back
+    ``run()`` calls on one simulator reproducible.
+    """
 
     def reset(self) -> None:
         """Re-seed / clear state before a simulation run."""
 
     def perturb(self, duration: float) -> float:
         """Return the perturbed duration (must stay non-negative)."""
+
+    def perturb_many(self, durations: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`perturb` over one batch of durations, in order."""
 
 
 @dataclass
@@ -36,6 +48,9 @@ class NoNoise:
 
     def perturb(self, duration: float) -> float:
         return duration
+
+    def perturb_many(self, durations: np.ndarray) -> np.ndarray:
+        return np.asarray(durations, dtype=np.float64)
 
 
 @dataclass
@@ -51,6 +66,8 @@ class GaussianNoise:
         self._rng = np.random.default_rng(self.seed)
 
     def reset(self) -> None:
+        # a fresh generator, not a retained one: back-to-back runs on one
+        # simulator must replay the identical noise sequence
         self._rng = np.random.default_rng(self.seed)
 
     def perturb(self, duration: float) -> float:
@@ -58,6 +75,19 @@ class GaussianNoise:
             return duration
         factor = max(0.0, 1.0 + self._rng.normal(0.0, self.sigma))
         return duration * factor
+
+    def perturb_many(self, durations: np.ndarray) -> np.ndarray:
+        durations = np.asarray(durations, dtype=np.float64)
+        out = durations.copy()
+        positive = durations > 0
+        count = int(np.count_nonzero(positive))
+        if count:
+            # scalar perturb() draws once per *positive* duration only; the
+            # vectorised draw consumes the stream identically
+            factors = 1.0 + self._rng.normal(0.0, self.sigma, size=count)
+            np.maximum(factors, 0.0, out=factors)
+            out[positive] *= factors
+        return out
 
 
 @dataclass
@@ -81,6 +111,7 @@ class OSJitterNoise:
         self._rng = np.random.default_rng(self.seed)
 
     def reset(self) -> None:
+        # re-seed so repeated runs replay the same spike pattern
         self._rng = np.random.default_rng(self.seed)
 
     def perturb(self, duration: float) -> float:
@@ -89,3 +120,13 @@ class OSJitterNoise:
         if self._rng.random() < self.probability:
             return duration + self.spike
         return duration
+
+    def perturb_many(self, durations: np.ndarray) -> np.ndarray:
+        durations = np.asarray(durations, dtype=np.float64)
+        out = durations.copy()
+        positive = durations > 0
+        count = int(np.count_nonzero(positive))
+        if count:
+            hits = self._rng.random(count) < self.probability
+            out[positive] += np.where(hits, self.spike, 0.0)
+        return out

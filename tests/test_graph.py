@@ -220,6 +220,54 @@ class TestExecutionGraph:
         for src, dst, _ in g.edges():
             assert position[src] < position[dst]
 
+    def test_order_contract_level_major_vid_minor(self):
+        # the canonical order sorts by longest-path level, then vertex id —
+        # the deterministic contract shared by the LP compiler's variable
+        # ordering and both simulation engines
+        from repro.testing import build_random_dag
+
+        for seed in range(5):
+            g = build_random_dag(seed, nranks=4, rounds=10)
+            indptr, order = g.topo_levels()
+            level = g.level_of()
+            np.testing.assert_array_equal(order, g.topological_order())
+            assert len(indptr) - 1 == g.num_levels
+            # level of a vertex = 1 + max level of its predecessors
+            for v in range(g.num_vertices):
+                preds = g.predecessors(v)
+                expected = int(level[preds].max()) + 1 if len(preds) else 0
+                assert level[v] == expected
+            # within a level, ascending vertex id; across levels, ascending
+            for k in range(g.num_levels):
+                chunk = order[indptr[k]: indptr[k + 1]]
+                assert np.all(np.diff(chunk) > 0)
+                assert np.all(level[chunk] == k)
+            # the order is exactly (level, vid)-lexicographic
+            np.testing.assert_array_equal(
+                order, np.lexsort((np.arange(g.num_vertices), level))
+            )
+
+    def test_topo_levels_narrow_and_wide_paths_agree(self):
+        # the peeling loop hands off from NumPy to list space on narrow
+        # frontiers; both regimes must produce the same structure
+        from repro.schedgen import graph as graph_module
+        from repro.testing import build_random_dag
+
+        g = build_random_dag(7, nranks=4, rounds=15)
+        indptr, order = g.topo_levels()
+        rebuilt = ExecutionGraph(
+            g.nranks, g.kind, g.rank, g.cost, g.size, g.peer, g.tag,
+            g.edge_src, g.edge_dst, g.edge_kind,
+        )
+        original = graph_module.ExecutionGraph._LIST_PEEL_WIDTH
+        graph_module.ExecutionGraph._LIST_PEEL_WIDTH = 1  # pure NumPy peel
+        try:
+            indptr2, order2 = rebuilt.topo_levels()
+        finally:
+            graph_module.ExecutionGraph._LIST_PEEL_WIDTH = original
+        np.testing.assert_array_equal(indptr, indptr2)
+        np.testing.assert_array_equal(order, order2)
+
     def test_cycle_detection(self):
         b = GraphBuilder(nranks=1)
         a = b.add_calc(0, 1.0)
