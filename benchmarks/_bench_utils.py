@@ -42,6 +42,10 @@ def _json_default(value):
     """Coerce NumPy scalars/arrays so benchmark payloads serialise as-is."""
     import numpy as np
 
+    # np.bool_ first: it is not an np.integer subclass, and int() would
+    # silently change its JSON type anyway
+    if isinstance(value, np.bool_):
+        return bool(value)
     if isinstance(value, np.integer):
         return int(value)
     if isinstance(value, np.floating):

@@ -1,0 +1,98 @@
+"""Collect every ``BENCH_*.json`` record into one ``BENCH_summary.json``.
+
+Each benchmark writes its own machine-readable record via
+:func:`_bench_utils.emit_json`.  This script (run as the last benchmark step
+in CI) folds them into a single summary — one row per benchmark with its
+headline speedup, plus the commit the numbers were measured at — so the
+performance trajectory across PRs is one artifact download, not a dozen.
+
+Usage::
+
+    python benchmarks/collect_bench_summary.py [output_dir]
+
+``output_dir`` defaults to ``$BENCH_OUTPUT_DIR`` or the current directory
+(the same place ``emit_json`` writes to).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SUMMARY_NAME = "BENCH_summary.json"
+
+
+def _headline_speedup(payload: object) -> float | None:
+    """The largest value found under a ``speedup``-ish key, recursively.
+
+    Benchmark payloads are heterogeneous (flat dicts, per-graph dicts,
+    lists of rows); the headline number is the best speedup the benchmark
+    demonstrated.  Returns ``None`` when the record reports no speedup.
+    """
+    found: list[float] = []
+
+    def walk(node: object) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                if "speedup" in str(key).lower() and isinstance(value, (int, float)):
+                    found.append(float(value))
+                else:
+                    walk(value)
+        elif isinstance(node, list):
+            for item in node:
+                walk(item)
+
+    walk(payload)
+    return max(found) if found else None
+
+
+def _commit() -> str:
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def collect(out_dir: str | Path | None = None) -> Path:
+    """Fold all ``BENCH_*.json`` records in ``out_dir`` into the summary.
+
+    Returns the path of the written ``BENCH_summary.json``.  Unreadable
+    records are reported as ``{"error": ...}`` rows rather than aborting
+    the collection.
+    """
+    out_dir = Path(out_dir if out_dir is not None
+                   else os.environ.get("BENCH_OUTPUT_DIR", "."))
+    rows = []
+    for path in sorted(out_dir.glob("BENCH_*.json")):
+        if path.name == SUMMARY_NAME:
+            continue
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            rows.append({"file": path.name, "error": str(exc)})
+            continue
+        rows.append({
+            "file": path.name,
+            "name": record.get("bench", path.stem.removeprefix("BENCH_")),
+            "headline_speedup": _headline_speedup(record.get("results")),
+        })
+
+    summary_path = out_dir / SUMMARY_NAME
+    with open(summary_path, "w") as fh:
+        json.dump({"commit": _commit(), "benchmarks": rows}, fh, indent=2)
+        fh.write("\n")
+    print(f"[bench] wrote {summary_path} ({len(rows)} records)")
+    return summary_path
+
+
+if __name__ == "__main__":
+    collect(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -24,7 +24,24 @@ from ..simulator.loggops import simulate
 from ..simulator.noise import GaussianNoise, NoiseModel, NoNoise
 from .metrics import rmse, rrmse
 
-__all__ = ["ValidationSweep", "run_validation_sweep"]
+__all__ = ["ValidationSweep", "run_validation_sweep", "noise_seed"]
+
+#: domain constant separating the validation sweep's noise streams from any
+#: other SeedSequence user in the package
+_NOISE_SEED_BASE = 7919
+
+
+def noise_seed(rep: int, point: int) -> np.random.SeedSequence:
+    """The noise seed of repetition ``rep`` at sweep point ``point``.
+
+    A :class:`numpy.random.SeedSequence` keyed by the full ``(base, rep,
+    point)`` tuple: every (repetition, point) pair gets a provably distinct,
+    well-mixed stream.  The previous arithmetic scheme ``rep * 7919 +
+    point`` collided as soon as a sweep had ≥ 7919 ΔL points (e.g. ``(rep=0,
+    point=7919)`` vs ``(rep=1, point=0)``), silently reusing "independent"
+    noise between repetitions.
+    """
+    return np.random.SeedSequence((_NOISE_SEED_BASE, int(rep), int(point)))
 
 
 @dataclass
@@ -122,7 +139,7 @@ def run_validation_sweep(
             if noise is not None:
                 run_noise = noise
             elif noise_sigma > 0:
-                run_noise = GaussianNoise(sigma=noise_sigma, seed=rep * 7919 + i)
+                run_noise = GaussianNoise(sigma=noise_sigma, seed=noise_seed(rep, i))
             else:
                 run_noise = NoNoise()
             result = simulate(

@@ -1,0 +1,304 @@
+"""Single-file ``.npz`` serialisation of the pipeline's frozen artifacts.
+
+Three artifact kinds are covered, each persisted as one NumPy ``.npz``
+archive with a self-describing ``__artifact__`` tag and a format version:
+
+* **graphs** — the identity columns of a frozen
+  :class:`~repro.schedgen.graph.ExecutionGraph` (vertex kind/rank/cost/
+  size/peer/tag, the dep/comm edge arrays, labels, ``nranks``), plus any
+  already-computed level structure so the load path restores the cached
+  views instead of re-deriving them;
+* **LPs** — the canonical CSR rows, bounds and variable names of an
+  :class:`~repro.lp.model.LPModel` (via :meth:`LPModel.to_arrays`) together
+  with the objective, sense and optional string metadata;
+* **envelopes** — the exact ``T(L)`` curve of a latency sweep, either as a
+  :class:`~repro.core.parametric.PiecewiseLinear` (slopes + intercepts) or
+  as a raw :class:`~repro.lp.parametric.TangentEnvelope` (tangent probes +
+  discovered breakpoints).
+
+Loads never re-run validation: every artifact was validated when it was
+first built, and the formats store the already-frozen canonical columns.
+``allow_pickle`` stays off on both ends — the formats are pure arrays.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..core.parametric import Line, PiecewiseLinear
+from ..lp.model import LPModel, LinearExpr, Sense
+from ..lp.parametric import Tangent, TangentEnvelope
+from ..schedgen.graph import ExecutionGraph
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ArtifactFormatError",
+    "save_graph",
+    "load_graph",
+    "save_lp",
+    "load_lp",
+    "save_envelope",
+    "load_envelope",
+]
+
+#: bumped whenever any of the npz layouts changes incompatibly
+FORMAT_VERSION = 1
+
+
+class ArtifactFormatError(ValueError):
+    """Raised when an artifact file has the wrong kind or an unknown version."""
+
+
+def _save_npz(path: str | Path, arrays: dict[str, np.ndarray | int | float | str]) -> Path:
+    """Write ``arrays`` to exactly ``path`` (no implicit ``.npz`` suffix)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    path.write_bytes(buffer.getvalue())
+    return path
+
+
+def _check_kind(archive: np.lib.npyio.NpzFile, path: Path, expected: str) -> None:
+    try:
+        kind = str(archive["__artifact__"][()])
+        version = int(archive["__version__"][()])
+    except KeyError as exc:
+        raise ArtifactFormatError(f"{path}: not a repro artifact file") from exc
+    if kind != expected:
+        raise ArtifactFormatError(
+            f"{path}: expected a {expected!r} artifact, found {kind!r}"
+        )
+    if version > FORMAT_VERSION:
+        raise ArtifactFormatError(
+            f"{path}: format version {version} is newer than supported "
+            f"({FORMAT_VERSION})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# execution graphs
+# ---------------------------------------------------------------------------
+
+
+def save_graph(graph: ExecutionGraph, path: str | Path) -> Path:
+    """Persist a frozen :class:`ExecutionGraph` to ``path`` (one ``.npz``).
+
+    All identity columns (see :attr:`ExecutionGraph.CONTENT_COLUMNS`) are
+    stored verbatim, so the round trip is bit-identical and preserves
+    :meth:`~ExecutionGraph.content_digest`.  If the level structure has
+    already been computed it is stored too, and :func:`load_graph` restores
+    it instead of re-deriving it.
+    """
+    arrays: dict[str, object] = {
+        "__artifact__": "graph",
+        "__version__": FORMAT_VERSION,
+        "nranks": np.int64(graph.nranks),
+    }
+    for name, _ in ExecutionGraph.CONTENT_COLUMNS:
+        arrays[name] = getattr(graph, name)
+    label_vids = np.array(sorted(graph.labels), dtype=np.int64)
+    arrays["label_vids"] = label_vids
+    arrays["label_text"] = np.array(
+        [graph.labels[int(v)] for v in label_vids], dtype=np.str_
+    )
+    if graph._topo_order is not None and graph._level_indptr is not None:
+        arrays["topo_order"] = graph._topo_order
+        arrays["level_indptr"] = graph._level_indptr
+    return _save_npz(path, arrays)
+
+
+def load_graph(path: str | Path) -> ExecutionGraph:
+    """Reconstruct an :class:`ExecutionGraph` written by :func:`save_graph`.
+
+    No validation runs (the graph was validated before it was frozen and
+    saved); the CSR adjacency is rebuilt deterministically from the edge
+    columns, and a stored level structure is re-attached to the cached-view
+    slots so e.g. :meth:`~ExecutionGraph.topological_order` is free.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        _check_kind(archive, path, "graph")
+        columns = {
+            name: archive[name].copy() for name, _ in ExecutionGraph.CONTENT_COLUMNS
+        }
+        labels = {
+            int(vid): str(text)
+            for vid, text in zip(archive["label_vids"], archive["label_text"])
+        }
+        graph = ExecutionGraph(
+            nranks=int(archive["nranks"][()]), labels=labels, **columns
+        )
+        if "topo_order" in archive.files and "level_indptr" in archive.files:
+            graph._topo_order = archive["topo_order"].copy()
+            graph._level_indptr = archive["level_indptr"].copy()
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# assembled LPs
+# ---------------------------------------------------------------------------
+
+
+def save_lp(
+    model: LPModel, path: str | Path, *, meta: dict[str, str] | None = None
+) -> Path:
+    """Persist an :class:`LPModel` (rows, bounds, names, objective) to ``path``.
+
+    ``meta`` is an optional flat string→string mapping stored alongside the
+    model (e.g. the graph/params digests the LP was compiled from);
+    :func:`load_lp` returns it unchanged.
+    """
+    arrays = model.to_arrays()
+    obj_cols = np.array(sorted(model.objective.coeffs), dtype=np.int64)
+    obj_vals = np.array(
+        [model.objective.coeffs[int(c)] for c in obj_cols], dtype=np.float64
+    )
+    meta = dict(meta or {})
+    payload: dict[str, object] = {
+        "__artifact__": "lp",
+        "__version__": FORMAT_VERSION,
+        "name": np.str_(arrays["name"]),
+        "var_names": np.array(arrays["var_names"], dtype=np.str_),
+        "lb": arrays["lb"],
+        "ub": arrays["ub"],
+        "row_indptr": arrays["row_indptr"],
+        "row_cols": arrays["row_cols"],
+        "row_vals": arrays["row_vals"],
+        "row_consts": arrays["row_consts"],
+        "row_sense": np.str_(arrays["row_sense"]),
+        "obj_cols": obj_cols,
+        "obj_vals": obj_vals,
+        "obj_const": np.float64(model.objective.constant),
+        "obj_sense": np.str_(model.sense.value),
+        "meta_keys": np.array(sorted(meta), dtype=np.str_),
+        "meta_vals": np.array([meta[k] for k in sorted(meta)], dtype=np.str_),
+    }
+    return _save_npz(path, payload)
+
+
+def load_lp(path: str | Path) -> tuple[LPModel, dict[str, str]]:
+    """Reconstruct ``(model, meta)`` from a file written by :func:`save_lp`.
+
+    The model comes back through :meth:`LPModel.from_arrays`, so its
+    assembled cache is pre-populated and the first solve performs no
+    Python-level lowering.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        _check_kind(archive, path, "lp")
+        model = LPModel.from_arrays(
+            name=str(archive["name"][()]),
+            var_names=[str(v) for v in archive["var_names"]],
+            lb=archive["lb"],
+            ub=archive["ub"],
+            row_indptr=archive["row_indptr"],
+            row_cols=archive["row_cols"],
+            row_vals=archive["row_vals"],
+            row_consts=archive["row_consts"],
+            row_sense=str(archive["row_sense"][()]),
+        )
+        objective = LinearExpr(
+            {
+                int(c): float(v)
+                for c, v in zip(archive["obj_cols"], archive["obj_vals"])
+            },
+            float(archive["obj_const"][()]),
+        )
+        model.set_objective(objective, Sense(str(archive["obj_sense"][()])))
+        meta = {
+            str(k): str(v)
+            for k, v in zip(archive["meta_keys"], archive["meta_vals"])
+        }
+    return model, meta
+
+
+# ---------------------------------------------------------------------------
+# latency envelopes
+# ---------------------------------------------------------------------------
+
+
+def save_envelope(
+    envelope: PiecewiseLinear | TangentEnvelope, path: str | Path
+) -> Path:
+    """Persist an exact ``T(L)`` envelope to ``path``.
+
+    Accepts either representation used by the pipeline: the reconstructed
+    :class:`PiecewiseLinear` curve of a :class:`~repro.core.parametric.
+    BatchedSweep`, or the raw :class:`TangentEnvelope` returned by the
+    tangent search.  The file records which one it holds and
+    :func:`load_envelope` returns the same type.
+    """
+    if isinstance(envelope, PiecewiseLinear):
+        payload: dict[str, object] = {
+            "__artifact__": "envelope",
+            "__version__": FORMAT_VERSION,
+            "envelope_kind": np.str_("piecewise"),
+            "slopes": np.array([ln.slope for ln in envelope.lines], dtype=np.float64),
+            "intercepts": np.array(
+                [ln.intercept for ln in envelope.lines], dtype=np.float64
+            ),
+            "lo": np.float64(envelope.lo),
+            "hi": np.float64(envelope.hi),
+        }
+    elif isinstance(envelope, TangentEnvelope):
+        payload = {
+            "__artifact__": "envelope",
+            "__version__": FORMAT_VERSION,
+            "envelope_kind": np.str_("tangent"),
+            "tangent_L": np.array([t.L for t in envelope.tangents], dtype=np.float64),
+            "tangent_value": np.array(
+                [t.value for t in envelope.tangents], dtype=np.float64
+            ),
+            "tangent_slope": np.array(
+                [t.slope for t in envelope.tangents], dtype=np.float64
+            ),
+            "breakpoints": np.asarray(envelope.breakpoints, dtype=np.float64),
+            "lo": np.float64(envelope.lo),
+            "hi": np.float64(envelope.hi),
+            "num_solves": np.int64(envelope.num_solves),
+        }
+    else:
+        raise TypeError(
+            "save_envelope expects a PiecewiseLinear or TangentEnvelope, "
+            f"got {type(envelope).__name__}"
+        )
+    return _save_npz(path, payload)
+
+
+def load_envelope(path: str | Path) -> PiecewiseLinear | TangentEnvelope:
+    """Reconstruct an envelope written by :func:`save_envelope`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        _check_kind(archive, path, "envelope")
+        kind = str(archive["envelope_kind"][()])
+        if kind == "piecewise":
+            lines = [
+                Line(float(s), float(i))
+                for s, i in zip(archive["slopes"], archive["intercepts"])
+            ]
+            return PiecewiseLinear(
+                lines=lines,
+                lo=float(archive["lo"][()]),
+                hi=float(archive["hi"][()]),
+            )
+        if kind == "tangent":
+            tangents = [
+                Tangent(float(L), float(v), float(s))
+                for L, v, s in zip(
+                    archive["tangent_L"],
+                    archive["tangent_value"],
+                    archive["tangent_slope"],
+                )
+            ]
+            return TangentEnvelope(
+                tangents=tangents,
+                breakpoints=[float(b) for b in archive["breakpoints"]],
+                lo=float(archive["lo"][()]),
+                hi=float(archive["hi"][()]),
+                num_solves=int(archive["num_solves"][()]),
+            )
+    raise ArtifactFormatError(f"{path}: unknown envelope kind {kind!r}")

@@ -17,7 +17,11 @@ Small front end over the library for the most common workflows:
 ``llamp trace``
     write the liballprof-style trace of an application skeleton;
 ``llamp goal``
-    write the GOAL schedule of an application skeleton.
+    write the GOAL schedule of an application skeleton;
+``llamp cache``
+    inspect / clear / warm a content-addressed artifact store
+    (:mod:`repro.artifacts`): ``warm APP`` persists the graph, LP and
+    ``T(L)`` envelope so later analyses are answered from disk.
 """
 
 from __future__ import annotations
@@ -140,6 +144,31 @@ def build_parser() -> argparse.ArgumentParser:
     goal = sub.add_parser("goal", help="write a GOAL schedule")
     add_app_args(goal)
     goal.add_argument("--output", required=True, help="output GOAL file")
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect, clear or warm a content-addressed artifact store",
+        description="Operate on a repro.artifacts.ArtifactStore directory: "
+                    "'stats' prints per-kind entry counts and sizes, 'clear' "
+                    "deletes entries, and 'warm APP' builds and stores the "
+                    "graph, LP and T(L) envelope of an application skeleton "
+                    "so later analyses are answered from disk.",
+    )
+    cache.add_argument("action", choices=("stats", "clear", "warm"),
+                       help="store operation")
+    cache.add_argument("app", nargs="?", choices=sorted(ALL_APPS),
+                       help="application skeleton (required for 'warm')")
+    cache.add_argument("--dir", required=True, dest="cache_dir",
+                       help="artifact store directory")
+    cache.add_argument("--kind", choices=("graph", "lp", "envelope"), default=None,
+                       help="restrict 'clear' to one artifact kind")
+    cache.add_argument("--nranks", type=int, default=8, help="number of MPI ranks")
+    cache.add_argument("--allreduce", default="recursive_doubling",
+                       choices=("recursive_doubling", "ring", "reduce_bcast"),
+                       help="allreduce algorithm used by Schedgen")
+    cache.add_argument("--l-max", type=float, default=1000.0,
+                       help="largest latency L in µs for the warmed envelope")
+    cache.add_argument("--json", action="store_true", help="print machine-readable JSON")
 
     return parser
 
@@ -330,6 +359,71 @@ def _cmd_goal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .artifacts import ArtifactStore, combine_digests, envelope_key
+
+    store = ArtifactStore(args.cache_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+            return 0
+        print(f"store              : {stats['root']}")
+        for kind, row in stats["kinds"].items():
+            print(f"{kind:<19s}: {row['entries']} entries, {row['bytes']} bytes")
+        print(f"total              : {stats['total_entries']} entries, "
+              f"{stats['total_bytes']} bytes")
+        return 0
+    if args.action == "clear":
+        removed = store.clear(args.kind)
+        what = args.kind if args.kind else "all kinds"
+        print(f"removed {removed} entries ({what}) from {store.root}")
+        return 0
+    # warm: build the graph, LP and envelope once and persist all three
+    if args.app is None:
+        raise SystemExit("'llamp cache warm' needs an application skeleton argument")
+    params = _params_from_args(args)
+    if args.l_max <= params.L:
+        raise SystemExit(
+            f"--l-max ({args.l_max} µs) must exceed the base latency ({params.L} µs)"
+        )
+    graph = _app_graph(args, params)
+    store.get_or_build_graph(graph.content_digest(), lambda: graph)
+    analyzer = LatencyAnalyzer(
+        graph, params, lp_engine=args.lp_engine, cache_dir=args.cache_dir
+    )
+    sweep = analyzer.batched_sweep(l_max=args.l_max)
+    lp_key = combine_digests(
+        "lp", graph.content_digest(), params.content_digest(), args.lp_engine
+    )
+    if not store.contains("lp", lp_key):
+        store.put("lp", lp_key, analyzer.lp.model)
+    env_key = envelope_key(
+        graph, params, l_min=params.L, l_max=args.l_max,
+        gap_symbolic=False, lp_engine=args.lp_engine,
+    )
+    breakpoints = sweep.breakpoints()
+    if args.json:
+        print(json.dumps({
+            "app": args.app,
+            "nranks": args.nranks,
+            "events": graph.num_events,
+            "graph_key": graph.content_digest(),
+            "lp_key": lp_key,
+            "envelope_key": env_key,
+            "critical_latencies": len(breakpoints),
+            "lp_solves": sweep.num_solves,
+        }, indent=2))
+        return 0
+    print(f"application        : {args.app} ({args.nranks} ranks, {graph.num_events} events)")
+    print(f"graph              : {graph.content_digest()[:16]}…")
+    print(f"lp                 : {lp_key[:16]}…")
+    print(f"envelope           : {env_key[:16]}… "
+          f"({len(breakpoints)} critical latencies, {sweep.num_solves} LP solves)")
+    print(f"store              : {store.root}")
+    return 0
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "sweep": _cmd_sweep,
@@ -337,6 +431,7 @@ _COMMANDS = {
     "place": _cmd_place,
     "trace": _cmd_trace,
     "goal": _cmd_goal,
+    "cache": _cmd_cache,
 }
 
 

@@ -367,9 +367,33 @@ class BatchedSweep:
         self.num_solves = 0
         self._envelope: PiecewiseLinear | None = None
 
+    @classmethod
+    def from_envelope(cls, envelope: PiecewiseLinear) -> "BatchedSweep":
+        """Wrap an already-built envelope (e.g. loaded from an artifact store).
+
+        The returned sweep answers every query from the envelope without a
+        model: ``graph_lp`` is ``None``, ``num_solves`` is 0 and no LP is
+        ever assembled or solved.
+        """
+        sweep = cls.__new__(cls)
+        sweep.graph_lp = None
+        sweep.l_min = float(envelope.lo)
+        sweep.l_max = float(envelope.hi)
+        sweep.backend = "cached"
+        sweep.max_pieces = max(len(envelope.lines), 1)
+        sweep.max_solves = 0
+        sweep.num_solves = 0
+        sweep._envelope = envelope
+        return sweep
+
     # -- envelope construction -------------------------------------------------
 
     def _build_envelope(self) -> PiecewiseLinear:
+        if self.graph_lp is None:
+            raise ValueError(
+                "this BatchedSweep was restored from a cached envelope and "
+                "has no model to solve"
+            )
         # the tangent-probing search is the shared ParametricLP engine; this
         # class only owns the geometric reconstruction of the envelope
         engine = ParametricLP(
@@ -426,14 +450,26 @@ class BatchedSweep:
 
 
 def _sweep_one_graph(job) -> PiecewiseLinear:
-    graph, params, l_min, l_max, backend, max_pieces, build_kwargs = job
-    from .lp_builder import build_lp
+    graph, params, l_min, l_max, backend, max_pieces, cache_dir, build_kwargs = job
 
-    graph_lp = build_lp(graph, params, **build_kwargs)
-    sweep = BatchedSweep(
-        graph_lp, l_min=l_min, l_max=l_max, backend=backend, max_pieces=max_pieces
+    def build() -> PiecewiseLinear:
+        from .lp_builder import build_lp
+
+        graph_lp = build_lp(graph, params, **build_kwargs)
+        sweep = BatchedSweep(
+            graph_lp, l_min=l_min, l_max=l_max, backend=backend, max_pieces=max_pieces
+        )
+        return sweep.envelope
+
+    if cache_dir is None:
+        return build()
+    from ..artifacts import ArtifactStore, envelope_key
+
+    store = ArtifactStore(cache_dir)
+    key = envelope_key(
+        graph, params, l_min=l_min, l_max=l_max, max_pieces=max_pieces, **build_kwargs
     )
-    return sweep.envelope
+    return store.get_or_build_envelope(key, build)
 
 
 def batched_sweep_graphs(
@@ -445,6 +481,7 @@ def batched_sweep_graphs(
     backend: str = "auto",
     max_pieces: int = 50_000,
     processes: int | None = None,
+    cache_dir: str | None = None,
     **build_kwargs,
 ) -> list[PiecewiseLinear]:
     """Batched sweeps of several independent graphs, optionally in parallel.
@@ -452,9 +489,16 @@ def batched_sweep_graphs(
     Returns one exact ``T(L)`` envelope per graph.  ``processes > 1`` fans
     the graphs out over a :mod:`multiprocessing` pool (each worker assembles
     and sweeps its own graphs); anything else runs serially in-process.
+
+    ``cache_dir`` points the workers at a shared
+    :class:`~repro.artifacts.ArtifactStore`: each envelope is keyed by the
+    graph/params content digests plus the sweep configuration, so repeated
+    runs (and duplicate graphs within one run) are answered from disk
+    instead of re-building and re-assembling the LP.  The store's writes are
+    atomic, so pool workers may race on a key safely.
     """
     jobs = [
-        (graph, params, l_min, l_max, backend, max_pieces, build_kwargs)
+        (graph, params, l_min, l_max, backend, max_pieces, cache_dir, build_kwargs)
         for graph in graphs
     ]
     if processes is not None and processes > 1 and len(jobs) > 1:

@@ -30,7 +30,24 @@ from scipy import sparse
 
 from .model import LPModel, Sense
 
-__all__ = ["AssembledLP", "assemble", "assemble_rows"]
+__all__ = ["AssembledLP", "assemble", "assemble_rows", "assembly_counts"]
+
+# Process-local counters of CSR assemblies performed since import, one per
+# entry path.  Tests and the artifact-store acceptance criteria snapshot them
+# to assert that cached paths perform *zero* new assemblies (mirroring
+# ``PlacementResult.num_reassemblies``).
+_ASSEMBLY_COUNTS = {"full": 0, "rows": 0}
+
+
+def assembly_counts() -> dict[str, int]:
+    """A snapshot of the process-wide CSR assembly counters.
+
+    ``"full"`` counts :func:`assemble` cache misses (object-model lowering),
+    ``"rows"`` counts :func:`assemble_rows` calls (array-model lowering, one
+    per :meth:`repro.lp.model.LPModel.from_arrays`).  Bounds/objective
+    refreshes of a cached assembly are not counted.
+    """
+    return dict(_ASSEMBLY_COUNTS)
 
 
 @dataclass
@@ -82,6 +99,7 @@ def _refresh_objective(assembled: AssembledLP, model: LPModel) -> None:
 
 
 def _full_assembly(model: LPModel) -> AssembledLP:
+    _ASSEMBLY_COUNTS["full"] += 1
     n = model.num_vars
     m = model.num_constraints
 
@@ -139,6 +157,7 @@ def assemble_rows(
     when given, are adopted directly instead of re-gathered from the
     ``Variable`` objects (they must match the model's current bounds).
     """
+    _ASSEMBLY_COUNTS["rows"] += 1
     n = model.num_vars
     m = len(rows)
     sign = -1.0 if rows.sense == ">=" else 1.0

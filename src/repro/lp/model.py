@@ -364,6 +364,65 @@ class LPModel:
         model._assembled_cache = assemble_rows(model, model._deferred_rows, lb=lb, ub=ub)
         return model
 
+    def to_arrays(self) -> dict[str, object]:
+        """Lower the model to the canonical array form of :meth:`from_arrays`.
+
+        Returns a dictionary whose keys match the keyword arguments of
+        :meth:`from_arrays` (``name``, ``var_names``, ``lb``, ``ub``,
+        ``row_indptr``, ``row_cols``, ``row_vals``, ``row_consts``,
+        ``row_sense``), so ``LPModel.from_arrays(**model.to_arrays())``
+        reconstructs an equivalent model.  Array-built models export their
+        deferred CSR rows verbatim (a bit-exact round trip); object-built
+        models are canonicalised — within each row the columns are sorted
+        and unique with explicit zeros dropped, and ``<=`` rows are negated
+        into the uniform ``expr >= 0`` form (same feasible set and optimum;
+        the dual of a flipped row changes sign).  The objective is *not*
+        included — persist it separately (see
+        :func:`repro.artifacts.save_lp`).
+        """
+        lb = np.array([var.lb for var in self.variables], dtype=np.float64)
+        ub = np.array([var.ub for var in self.variables], dtype=np.float64)
+        var_names = [var.name for var in self.variables]
+        if self._deferred_rows is not None:
+            rows = self._deferred_rows
+            return {
+                "name": self.name,
+                "var_names": var_names,
+                "lb": lb,
+                "ub": ub,
+                "row_indptr": rows.indptr.copy(),
+                "row_cols": rows.cols.copy(),
+                "row_vals": rows.vals.copy(),
+                "row_consts": rows.consts.copy(),
+                "row_sense": rows.sense,
+            }
+        indptr = np.zeros(len(self._constraints) + 1, dtype=np.int64)
+        cols: list[int] = []
+        vals: list[float] = []
+        consts = np.zeros(len(self._constraints), dtype=np.float64)
+        for i, constraint in enumerate(self._constraints):
+            sign = 1.0 if constraint.sense == ">=" else -1.0
+            items = sorted(
+                (idx, sign * coeff)
+                for idx, coeff in constraint.expr.coeffs.items()
+                if coeff != 0.0
+            )
+            cols.extend(idx for idx, _ in items)
+            vals.extend(coeff for _, coeff in items)
+            consts[i] = sign * constraint.expr.constant
+            indptr[i + 1] = len(cols)
+        return {
+            "name": self.name,
+            "var_names": var_names,
+            "lb": lb,
+            "ub": ub,
+            "row_indptr": indptr,
+            "row_cols": np.asarray(cols, dtype=np.int64),
+            "row_vals": np.asarray(vals, dtype=np.float64),
+            "row_consts": consts,
+            "row_sense": ">=",
+        }
+
     def add_var(
         self, name: str | None = None, lb: float = 0.0, ub: float = float("inf")
     ) -> Variable:

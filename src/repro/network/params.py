@@ -21,6 +21,8 @@ validation test bed (Section III-B) and Piz Daint (Section IV).
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Mapping
 
@@ -113,6 +115,20 @@ class LogGPSParams:
     def replace(self, **kwargs: float) -> "LogGPSParams":
         """Generic :func:`dataclasses.replace` wrapper."""
         return replace(self, **kwargs)
+
+    def content_digest(self) -> str:
+        """A stable sha256 hex digest of the parameter configuration.
+
+        The digest covers every field as packed little-endian binary
+        (float64 for ``L``/``o``/``g``/``G``/``O``, int64 for ``S``/``P``)
+        behind a versioned domain prefix, so equal configurations hash
+        identically across processes and sessions.  Used as one half of the
+        :mod:`repro.artifacts` cache keys.
+        """
+        payload = struct.pack(
+            "<5dqq", self.L, self.o, self.g, self.G, self.O, int(self.S), int(self.P)
+        )
+        return hashlib.sha256(b"repro:loggps-params:v1\0" + payload).hexdigest()
 
     def as_dict(self) -> Mapping[str, float]:
         """Return the configuration as a plain dictionary."""

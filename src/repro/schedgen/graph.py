@@ -35,6 +35,7 @@ call — the foundation of the columnar schedule-generation engine
 from __future__ import annotations
 
 import enum
+import hashlib
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -466,6 +467,8 @@ class ExecutionGraph:
         self._level_of: np.ndarray | None = None
         self._chain_parent: np.ndarray | None = None
         self._chain_in_edge: np.ndarray | None = None
+        self._content_digest: str | None = None
+        self._level_plan_cache: dict[str, object] = {}
         self._num_edges = m
 
     # -- basic accessors ----------------------------------------------------
@@ -537,6 +540,48 @@ class ExecutionGraph:
         arrays.
         """
         return self.edge_src, self.edge_dst, self.edge_kind
+
+    # -- content identity ----------------------------------------------------
+
+    #: canonical (name, attribute, little-endian dtype) of every column that
+    #: defines the graph's identity, in digest/serialisation order.  The CSR
+    #: adjacency and all cached views are derived data and excluded.
+    CONTENT_COLUMNS: tuple[tuple[str, str], ...] = (
+        ("kind", "<i1"),
+        ("rank", "<i4"),
+        ("cost", "<f8"),
+        ("size", "<i8"),
+        ("peer", "<i4"),
+        ("tag", "<i8"),
+        ("edge_src", "<i8"),
+        ("edge_dst", "<i8"),
+        ("edge_kind", "<i1"),
+    )
+
+    def content_digest(self) -> str:
+        """A stable sha256 hex digest of the graph's defining content.
+
+        The digest covers ``nranks``, every column of
+        :attr:`CONTENT_COLUMNS` as canonical little-endian bytes, and the
+        labels in ascending vertex order, behind a versioned domain prefix.
+        Because the legacy and columnar schedule-generation engines produce
+        bit-identical frozen graphs (the deterministic order contract), the
+        same schedule hashes identically regardless of how it was built —
+        which makes the digest a sound :mod:`repro.artifacts` cache key.
+        Cached after the first call (the graph is immutable).
+        """
+        if self._content_digest is None:
+            h = hashlib.sha256()
+            h.update(b"repro:execution-graph:v1\0")
+            h.update(int(self.nranks).to_bytes(8, "little"))
+            for name, dtype in self.CONTENT_COLUMNS:
+                h.update(name.encode("ascii") + b"\0")
+                h.update(np.ascontiguousarray(getattr(self, name), dtype=dtype).tobytes())
+            for vid in sorted(self.labels):
+                h.update(int(vid).to_bytes(8, "little", signed=True))
+                h.update(self.labels[vid].encode("utf-8") + b"\0")
+            self._content_digest = h.hexdigest()
+        return self._content_digest
 
     def vertices_of_rank(self, rank: int) -> np.ndarray:
         """Vertex ids that belong to ``rank``."""

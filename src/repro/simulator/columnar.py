@@ -44,7 +44,7 @@ from ..schedgen.graph import EdgeKind, ExecutionGraph, VertexKind
 from .injector import INJECTOR_NAMES, LatencyInjector, group_by_rank
 from .noise import NoiseModel, NoNoise
 
-__all__ = ["SweepSimulationResult", "simulate_level", "simulate_sweep"]
+__all__ = ["SweepSimulationResult", "simulate_level", "simulate_sweep", "get_level_plan"]
 
 
 # ---------------------------------------------------------------------------
@@ -69,9 +69,11 @@ class _LevelPlan:
         "comm_idx", "comm_ptr",
         "send_pos", "send_rank", "send_ptr", "send_dup",
         "calc_pos", "calc_cost", "calc_ptr",
+        "reuse_count",
     )
 
     def __init__(self, graph: ExecutionGraph, params: LogGPSParams) -> None:
+        self.reuse_count = 0
         vptr, order = graph.topo_levels()
         pos_of = graph.topo_positions()
         self.order = order
@@ -135,6 +137,36 @@ class _LevelPlan:
         self.calc_pos = np.flatnonzero(calc_o)
         self.calc_cost = cost_o[self.calc_pos]
         self.calc_ptr = np.searchsorted(self.calc_pos, vptr)
+
+
+#: level plans retained per graph; a plan is a few arrays of the graph's own
+#: size, so a handful of parameter configurations is plenty (FIFO eviction)
+_LEVEL_PLAN_CACHE_SIZE = 4
+
+
+def get_level_plan(graph: ExecutionGraph, params: LogGPSParams) -> _LevelPlan:
+    """The :class:`_LevelPlan` of ``(graph, params)``, cached on the graph.
+
+    The plan depends only on the immutable graph and the parameter set
+    (injector deltas are folded in later, on copies), and both the scalar
+    level engine and the batched sweep read it without mutation — so
+    repeated simulations of the same configuration (e.g. the repetition
+    loop of :func:`repro.analysis.validation.run_validation_sweep`, where
+    only the noise seed changes between runs) share one plan instead of
+    rebuilding it per run.  Keyed by ``params.content_digest()``; a cache
+    hit increments ``plan.reuse_count``.
+    """
+    cache = graph._level_plan_cache
+    key = params.content_digest()
+    plan = cache.get(key)
+    if plan is None:
+        plan = _LevelPlan(graph, params)
+        if len(cache) >= _LEVEL_PLAN_CACHE_SIZE:
+            cache.pop(next(iter(cache)))
+        cache[key] = plan
+    else:
+        plan.reuse_count += 1
+    return plan
 
 
 # ---------------------------------------------------------------------------
@@ -226,7 +258,7 @@ def simulate_level(
             makespan=0.0, start=zeros, end=zeros,
             rank_finish=np.zeros(graph.nranks), params=params,
         )
-    plan = _LevelPlan(graph, params)
+    plan = get_level_plan(graph, params)
 
     # injectors that declare a ``wire_delta`` are stateless: the wire-side
     # delay folds into the edge costs and the send-side extra is
@@ -395,7 +427,7 @@ def simulate_sweep(
             params=params,
             injector=injector,
         )
-    plan = _LevelPlan(graph, params)
+    plan = get_level_plan(graph, params)
 
     # exhaustive per-name dispatch: a new injector name must be wired in
     # here explicitly, not silently simulated with its delta ignored

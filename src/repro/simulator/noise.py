@@ -55,10 +55,15 @@ class NoNoise:
 
 @dataclass
 class GaussianNoise:
-    """Multiplicative Gaussian noise: ``duration * max(0, N(1, sigma))``."""
+    """Multiplicative Gaussian noise: ``duration * max(0, N(1, sigma))``.
+
+    ``seed`` is anything :func:`numpy.random.default_rng` accepts — an int
+    or a :class:`numpy.random.SeedSequence` (used by the validation sweep to
+    derive collision-free per-(repetition, point) streams).
+    """
 
     sigma: float = 0.01
-    seed: int = 0
+    seed: int | np.random.SeedSequence = 0
 
     def __post_init__(self) -> None:
         if self.sigma < 0:

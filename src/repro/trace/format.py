@@ -21,8 +21,14 @@ MPI_Finalize:9.100:9.200
 ...
 ```
 
-Timestamps are microseconds with fixed precision.  Unknown keys are rejected
-so format drift is caught early.
+Timestamps are microseconds, written with fixed precision when that is
+exact and with full ``repr`` precision otherwise, so ``load(dump(trace))``
+reproduces every float bit-for-bit.  Meta values are escaped
+(``\\`` / newline / carriage return), so any string survives the round
+trip; meta keys that cannot be represented unambiguously (empty, containing
+``=`` or line breaks, surrounded by whitespace) are rejected at dump time.
+Unknown keys, duplicate ``@rank`` headers and duplicate meta keys are
+rejected so format drift is caught early.
 """
 
 from __future__ import annotations
@@ -57,14 +63,61 @@ _INT_FIELDS = {
 
 
 class TraceFormatError(ValueError):
-    """Raised when a trace file cannot be parsed."""
+    """Raised when a trace file cannot be parsed or is not representable."""
+
+
+def _format_time(t: float) -> str:
+    """Fixed-precision when exact, full ``repr`` otherwise (lossless)."""
+    fixed = f"{t:.{_TIME_PRECISION}f}"
+    return fixed if float(fixed) == t else repr(t)
+
+
+_META_ESCAPES = {"\\": "\\\\", "\n": "\\n", "\r": "\\r"}
+_META_UNESCAPES = {"\\": "\\", "n": "\n", "r": "\r"}
+
+
+def _escape_meta_value(value: str) -> str:
+    for raw, escaped in _META_ESCAPES.items():
+        value = value.replace(raw, escaped)
+    return value
+
+
+def _unescape_meta_value(text: str, lineno: int) -> str:
+    if "\\" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(text):
+            raise TraceFormatError(f"line {lineno}: dangling escape in meta value")
+        mapped = _META_UNESCAPES.get(text[i + 1])
+        if mapped is None:
+            raise TraceFormatError(
+                f"line {lineno}: unknown escape '\\{text[i + 1]}' in meta value"
+            )
+        out.append(mapped)
+        i += 2
+    return "".join(out)
+
+
+def _check_meta_key(key: str) -> None:
+    if not key or key != key.strip() or any(ch in key for ch in "=\n\r"):
+        raise TraceFormatError(
+            f"meta key {key!r} is not representable: keys must be non-empty, "
+            "free of '=' and line breaks, and carry no surrounding whitespace"
+        )
 
 
 def _format_record(rec: TraceRecord) -> str:
     parts = [
         rec.op.value,
-        f"{rec.tstart:.{_TIME_PRECISION}f}",
-        f"{rec.tend:.{_TIME_PRECISION}f}",
+        _format_time(rec.tstart),
+        _format_time(rec.tend),
     ]
     if rec.peer >= 0:
         parts.append(f"peer={rec.peer}")
@@ -138,7 +191,8 @@ def dumps_trace(trace: Trace) -> str:
 def _write(trace: Trace, handle: TextIO) -> None:
     handle.write(_HEADER + "\n")
     for key, value in sorted(trace.meta.items()):
-        handle.write(f"# meta {key}={value}\n")
+        _check_meta_key(key)
+        handle.write(f"# meta {key}={_escape_meta_value(value)}\n")
     for rank_trace in trace.ranks:
         handle.write(f"@rank {rank_trace.rank}\n")
         for rec in rank_trace:
@@ -159,7 +213,9 @@ def loads_trace(text: str) -> Trace:
 
 
 def _read(handle: TextIO) -> Trace:
-    lines = handle.read().splitlines()
+    # split on real newlines only: str.splitlines() would also break on
+    # exotic boundaries (NEL, U+2028, ...) that are legal inside meta values
+    lines = handle.read().split("\n")
     if not lines or lines[0].strip() != _HEADER:
         raise TraceFormatError(f"missing header {_HEADER!r}")
 
@@ -167,16 +223,22 @@ def _read(handle: TextIO) -> Trace:
     rank_traces: list[RankTrace] = []
     current: RankTrace | None = None
 
+    seen_ranks: set[int] = set()
     for lineno, raw in enumerate(lines[1:], start=2):
+        if raw.startswith("# meta "):
+            # parsed from the raw line: meta values keep their exact bytes
+            # (leading/trailing whitespace included) and are unescaped below
+            body = raw[len("# meta "):]
+            if "=" not in body:
+                raise TraceFormatError(f"line {lineno}: malformed meta line {raw!r}")
+            key, value = body.split("=", 1)
+            _check_meta_key(key)
+            if key in meta:
+                raise TraceFormatError(f"line {lineno}: duplicate meta key {key!r}")
+            meta[key] = _unescape_meta_value(value, lineno)
+            continue
         line = raw.strip()
         if not line:
-            continue
-        if line.startswith("# meta "):
-            body = line[len("# meta "):]
-            if "=" not in body:
-                raise TraceFormatError(f"line {lineno}: malformed meta line {line!r}")
-            key, value = body.split("=", 1)
-            meta[key.strip()] = value.strip()
             continue
         if line.startswith("#"):
             continue
@@ -185,6 +247,11 @@ def _read(handle: TextIO) -> Trace:
                 rank = int(line[len("@rank "):])
             except ValueError as exc:
                 raise TraceFormatError(f"line {lineno}: bad rank header {line!r}") from exc
+            if rank in seen_ranks:
+                raise TraceFormatError(
+                    f"line {lineno}: duplicate '@rank {rank}' header"
+                )
+            seen_ranks.add(rank)
             current = RankTrace(rank=rank)
             rank_traces.append(current)
             continue

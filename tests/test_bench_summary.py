@@ -1,0 +1,62 @@
+"""Unit tests for the CI benchmark-summary collector."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from collect_bench_summary import SUMMARY_NAME, _headline_speedup, collect  # noqa: E402
+
+
+class TestHeadlineSpeedup:
+    def test_flat_payload(self):
+        assert _headline_speedup({"speedup": 12.5, "cold_s": 1.0}) == 12.5
+
+    def test_nested_per_graph_payload(self):
+        payload = {
+            "running example": {"speedup": 3.0},
+            "LULESH": {"speedup": 40.0, "lp_solves": 3},
+        }
+        assert _headline_speedup(payload) == 40.0
+
+    def test_list_of_rows(self):
+        assert _headline_speedup([{"speedup": 2.0}, {"speedup": 5.5}]) == 5.5
+
+    def test_no_speedup_reported(self):
+        assert _headline_speedup({"rrmse_pct": 1.2}) is None
+
+
+class TestCollect:
+    def test_folds_all_records(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("GITHUB_SHA", "cafe1234")
+        (tmp_path / "BENCH_alpha.json").write_text(
+            json.dumps({"bench": "alpha", "results": {"speedup": 7.0}})
+        )
+        (tmp_path / "BENCH_beta.json").write_text(
+            json.dumps({"bench": "beta", "results": {"x": {"speedup": 2.0}}})
+        )
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        summary_path = collect(tmp_path)
+        assert summary_path == tmp_path / SUMMARY_NAME
+
+        summary = json.loads(summary_path.read_text())
+        assert summary["commit"] == "cafe1234"
+        rows = {r["file"]: r for r in summary["benchmarks"]}
+        assert rows["BENCH_alpha.json"]["headline_speedup"] == 7.0
+        assert rows["BENCH_beta.json"]["headline_speedup"] == 2.0
+        assert "error" in rows["BENCH_broken.json"]
+
+        # re-collecting must not ingest the summary itself
+        again = json.loads(collect(tmp_path).read_text())
+        assert {r["file"] for r in again["benchmarks"]} == {
+            "BENCH_alpha.json", "BENCH_beta.json", "BENCH_broken.json",
+        }
+
+    def test_commit_falls_back_to_git(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("GITHUB_SHA", raising=False)
+        summary = json.loads(collect(tmp_path).read_text())
+        assert summary["commit"]  # a sha in a git checkout, "unknown" otherwise
+        assert summary["benchmarks"] == []

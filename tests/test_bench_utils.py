@@ -1,0 +1,38 @@
+"""Unit tests for the benchmark JSON emitter (:mod:`benchmarks._bench_utils`)."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from _bench_utils import _json_default, emit_json  # noqa: E402
+
+
+class TestJsonDefault:
+    def test_numpy_bool_serialises_as_json_bool(self):
+        # np.bool_ is not an np.integer subclass; without the explicit branch
+        # json.dump raises (or an int() fallback would change the JSON type)
+        assert _json_default(np.bool_(True)) is True
+        assert _json_default(np.bool_(False)) is False
+
+    def test_numpy_scalars_and_arrays(self):
+        assert _json_default(np.int64(7)) == 7
+        assert _json_default(np.float64(0.5)) == 0.5
+        assert _json_default(np.arange(3)) == [0, 1, 2]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError, match="cannot serialise"):
+            _json_default(object())
+
+    def test_emit_json_round_trips_numpy_bools(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("BENCH_OUTPUT_DIR", str(tmp_path))
+        path = emit_json("unit", {"ok": np.bool_(True), "speedup": np.float64(12.5)})
+        record = json.loads(Path(path).read_text())
+        assert record["bench"] == "unit"
+        assert record["results"] == {"ok": True, "speedup": 12.5}

@@ -178,3 +178,116 @@ class TestTraceFormat:
         trace.add_record(0, TraceRecord(op=MPIOp.INIT, tstart=0, tend=1))
         parsed = loads_trace(dumps_trace(trace))
         assert parsed.meta == {"experiment": "fig9", "scale": "8"}
+
+
+class TestLosslessFormat:
+    """The dump→load round trip is exact: every float bit and meta byte."""
+
+    def test_timestamps_beyond_fixed_precision(self):
+        trace = Trace.empty(1)
+        t0 = 0.1 + 0.2            # 0.30000000000000004 — not exact in %.6f
+        t1 = 1.2345678901234567
+        trace.add_record(0, TraceRecord(op=MPIOp.INIT, tstart=t0, tend=t1))
+        rec = loads_trace(dumps_trace(trace)).rank(0)[0]
+        assert rec.tstart == t0 and rec.tend == t1
+
+    def test_meta_value_with_newlines_and_backslashes(self):
+        meta = {"note": "line1\nline2\r\\raw\\", "cmd": "a=b=c"}
+        trace = Trace(ranks=[RankTrace(rank=0)], meta=meta)
+        assert loads_trace(dumps_trace(trace)).meta == meta
+
+    def test_meta_value_whitespace_preserved(self):
+        meta = {"pad": "  spaced out  ", "tab": "\tlead"}
+        trace = Trace(ranks=[RankTrace(rank=0)], meta=meta)
+        assert loads_trace(dumps_trace(trace)).meta == meta
+
+    def test_meta_value_exotic_line_boundaries(self):
+        # NEL / LS / PS are line boundaries for str.splitlines() but plain
+        # characters for the format, which delimits lines with '\n' only
+        meta = {"odd": "a\x85b c d"}
+        trace = Trace(ranks=[RankTrace(rank=0)], meta=meta)
+        assert loads_trace(dumps_trace(trace)).meta == meta
+
+    def test_unrepresentable_meta_key_rejected_at_dump(self):
+        for key in ("", "a=b", "a\nb", " padded "):
+            trace = Trace(ranks=[RankTrace(rank=0)], meta={key: "v"})
+            with pytest.raises(TraceFormatError, match="not representable"):
+                dumps_trace(trace)
+
+    def test_duplicate_meta_key_rejected_at_load(self):
+        text = "# llamp-trace v1\n# meta k=1\n# meta k=2\n@rank 0\n"
+        with pytest.raises(TraceFormatError, match="duplicate meta key"):
+            loads_trace(text)
+
+    def test_duplicate_rank_header_rejected(self):
+        text = ("# llamp-trace v1\n@rank 0\nMPI_Init:0:1\n"
+                "@rank 0\nMPI_Finalize:2:3\n")
+        with pytest.raises(TraceFormatError, match="duplicate '@rank 0'"):
+            loads_trace(text)
+
+    def test_dangling_or_unknown_escape_rejected(self):
+        with pytest.raises(TraceFormatError, match="dangling escape"):
+            loads_trace("# llamp-trace v1\n# meta k=v\\\n@rank 0\n")
+        with pytest.raises(TraceFormatError, match="unknown escape"):
+            loads_trace("# llamp-trace v1\n# meta k=v\\x\n@rank 0\n")
+
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a tier-1 dependency
+    HAVE_HYPOTHESIS = False
+
+
+if HAVE_HYPOTHESIS:
+    _META_KEYS = st.from_regex(r"[A-Za-z][A-Za-z0-9_.\-]{0,11}", fullmatch=True)
+    _META_VALUES = st.text(max_size=40)
+    _TIMES = st.floats(min_value=0.0, max_value=1e12,
+                       allow_nan=False, allow_infinity=False)
+
+    @st.composite
+    def random_traces(draw) -> Trace:
+        """Random valid traces: per-rank monotonic records + arbitrary meta."""
+        nranks = draw(st.integers(1, 3))
+        meta = draw(st.dictionaries(_META_KEYS, _META_VALUES, max_size=4))
+        ranks = []
+        for rank in range(nranks):
+            n = draw(st.integers(0, 5))
+            stamps = sorted(draw(st.lists(_TIMES, min_size=2 * n, max_size=2 * n)))
+            rank_trace = RankTrace(rank=rank)
+            for i in range(n):
+                t0, t1 = stamps[2 * i], stamps[2 * i + 1]
+                kind = draw(st.sampled_from(
+                    ["init", "send", "recv", "barrier", "allreduce"]))
+                if kind == "init":
+                    rec = TraceRecord(op=MPIOp.INIT, tstart=t0, tend=t1)
+                elif kind in ("send", "recv"):
+                    rec = TraceRecord(
+                        op=MPIOp.SEND if kind == "send" else MPIOp.RECV,
+                        tstart=t0, tend=t1,
+                        peer=draw(st.integers(0, nranks - 1)),
+                        size=draw(st.integers(0, 1 << 20)),
+                        tag=draw(st.integers(0, 999)),
+                    )
+                elif kind == "barrier":
+                    rec = TraceRecord(op=MPIOp.BARRIER, tstart=t0, tend=t1,
+                                      comm_size=draw(st.integers(2, 64)))
+                else:
+                    rec = TraceRecord(op=MPIOp.ALLREDUCE, tstart=t0, tend=t1,
+                                      size=draw(st.integers(0, 1 << 20)),
+                                      comm_size=draw(st.integers(2, 64)))
+                rank_trace.append(rec)
+            ranks.append(rank_trace)
+        return Trace(ranks=ranks, meta=meta)
+
+    class TestRoundTripProperty:
+        @given(trace=random_traces())
+        @settings(max_examples=150, deadline=None)
+        def test_dump_load_is_identity(self, trace):
+            parsed = loads_trace(dumps_trace(trace))
+            assert parsed.meta == trace.meta
+            assert parsed.nranks == trace.nranks
+            for original, restored in zip(trace.ranks, parsed.ranks):
+                assert restored.rank == original.rank
+                assert list(restored) == list(original)
