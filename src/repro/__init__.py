@@ -39,6 +39,7 @@ from .schedgen import (
     ScheduleGenerator,
     build_graph,
 )
+from .parallel import ScenarioFleet, SweepPool
 from .simulator import LogGOPSSimulator, SimulationResult, simulate
 
 __version__ = "1.0.0"
@@ -74,4 +75,7 @@ __all__ = [
     "LogGOPSSimulator",
     "SimulationResult",
     "simulate",
+    # multi-process fleets
+    "SweepPool",
+    "ScenarioFleet",
 ]

@@ -18,7 +18,12 @@ from .serialize import (
     save_graph,
     save_lp,
 )
-from .store import ArtifactStore, combine_digests, envelope_key
+from .store import (
+    ArtifactStore,
+    combine_digests,
+    envelope_key,
+    envelope_key_from_digests,
+)
 
 __all__ = [
     "FORMAT_VERSION",
@@ -32,4 +37,5 @@ __all__ = [
     "ArtifactStore",
     "combine_digests",
     "envelope_key",
+    "envelope_key_from_digests",
 ]

@@ -98,8 +98,7 @@ def save_graph(graph: ExecutionGraph, path: str | Path) -> Path:
         "__version__": FORMAT_VERSION,
         "nranks": np.int64(graph.nranks),
     }
-    for name, _ in ExecutionGraph.CONTENT_COLUMNS:
-        arrays[name] = getattr(graph, name)
+    arrays.update(graph.identity_columns())
     label_vids = np.array(sorted(graph.labels), dtype=np.int64)
     arrays["label_vids"] = label_vids
     arrays["label_text"] = np.array(
@@ -129,12 +128,14 @@ def load_graph(path: str | Path) -> ExecutionGraph:
             int(vid): str(text)
             for vid, text in zip(archive["label_vids"], archive["label_text"])
         }
-        graph = ExecutionGraph(
-            nranks=int(archive["nranks"][()]), labels=labels, **columns
+        has_levels = "topo_order" in archive.files and "level_indptr" in archive.files
+        graph = ExecutionGraph.from_columns(
+            int(archive["nranks"][()]),
+            columns,
+            labels=labels,
+            topo_order=archive["topo_order"].copy() if has_levels else None,
+            level_indptr=archive["level_indptr"].copy() if has_levels else None,
         )
-        if "topo_order" in archive.files and "level_indptr" in archive.files:
-            graph._topo_order = archive["topo_order"].copy()
-            graph._level_indptr = archive["level_indptr"].copy()
     return graph
 
 

@@ -34,7 +34,12 @@ from .serialize import (
     save_lp,
 )
 
-__all__ = ["ArtifactStore", "combine_digests", "envelope_key"]
+__all__ = [
+    "ArtifactStore",
+    "combine_digests",
+    "envelope_key",
+    "envelope_key_from_digests",
+]
 
 _HEX = set("0123456789abcdef")
 
@@ -60,10 +65,30 @@ def envelope_key(graph, params, *, l_min: float, l_max: float, **config: object)
     (``gap_symbolic``, ``max_pieces``, LP build modes, …), sorted by name so
     keyword order is irrelevant.
     """
-    parts: list[object] = [
-        "envelope",
+    return envelope_key_from_digests(
         graph.content_digest(),
         params.content_digest(),
+        l_min=l_min,
+        l_max=l_max,
+        **config,
+    )
+
+
+def envelope_key_from_digests(
+    graph_digest: str, params_digest: str, *, l_min: float, l_max: float,
+    **config: object,
+) -> str:
+    """:func:`envelope_key` for callers that hold only the content digests.
+
+    Pool workers resolve scenarios by ``(graph_digest, params_digest)``
+    without ever materialising the graph, yet must address the same store
+    entries the in-process path writes — both key builders therefore share
+    this digest-level implementation.
+    """
+    parts: list[object] = [
+        "envelope",
+        graph_digest,
+        params_digest,
         repr(float(l_min)),
         repr(float(l_max)),
     ]

@@ -21,7 +21,12 @@ Small front end over the library for the most common workflows:
 ``llamp cache``
     inspect / clear / warm a content-addressed artifact store
     (:mod:`repro.artifacts`): ``warm APP`` persists the graph, LP and
-    ``T(L)`` envelope so later analyses are answered from disk.
+    ``T(L)`` envelope so later analyses are answered from disk;
+``llamp fleet``
+    expand an (app × ranks × algorithm × latency × injector) scenario grid
+    and run it across the zero-copy shared-memory worker pool
+    (:mod:`repro.parallel`), writing per-app shards plus one deterministic
+    merged summary.
 """
 
 from __future__ import annotations
@@ -169,6 +174,44 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--l-max", type=float, default=1000.0,
                        help="largest latency L in µs for the warmed envelope")
     cache.add_argument("--json", action="store_true", help="print machine-readable JSON")
+
+    from .simulator.injector import INJECTOR_NAMES
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a scenario fleet across the shared-memory worker pool",
+        description="Expand the cross product of applications, rank counts, "
+                    "allreduce algorithms, base latencies and injectors into "
+                    "scenarios, run them on a persistent pool of spawn "
+                    "workers attached zero-copy to the shared graph columns, "
+                    "and write per-app FLEET_<app>.json shards plus one "
+                    "deterministic FLEET_summary.json.",
+    )
+    fleet.add_argument("apps", nargs="+", choices=sorted(ALL_APPS),
+                       help="application skeletons in the fleet")
+    fleet.add_argument("--nranks", type=int, nargs="+", default=[8],
+                       help="rank counts (grid axis; default: %(default)s)")
+    fleet.add_argument("--allreduce", nargs="+", default=["recursive_doubling"],
+                       choices=("recursive_doubling", "ring", "reduce_bcast"),
+                       help="allreduce algorithms (grid axis)")
+    fleet.add_argument("--latencies", type=float, nargs="+", default=None,
+                       help="base latencies L in µs (grid axis; default: --latency)")
+    fleet.add_argument("--injectors", nargs="+", default=["none"],
+                       choices=("none",) + INJECTOR_NAMES,
+                       help="latency injectors (grid axis; 'none' = LP-only)")
+    fleet.add_argument("--sim-deltas", type=float, nargs="+", default=[0.0, 10.0],
+                       help="ΔL points simulated for injector scenarios (µs)")
+    fleet.add_argument("--l-max", type=float, default=1000.0,
+                       help="largest latency L in µs for the envelopes")
+    fleet.add_argument("--processes", type=int, default=None,
+                       help="worker processes (default: cpu count; 1 = inline)")
+    fleet.add_argument("--cache-dir", default=None,
+                       help="shared artifact store directory for the workers")
+    fleet.add_argument("--output-dir", default=None,
+                       help="directory for FLEET_*.json shards and the summary")
+    fleet.add_argument("--backend", default="auto",
+                       help="LP backend name from the registry (default: %(default)s)")
+    fleet.add_argument("--json", action="store_true", help="print machine-readable JSON")
 
     return parser
 
@@ -424,6 +467,52 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .parallel import ScenarioFleet
+
+    latencies = args.latencies if args.latencies else [args.latency]
+    params_grid = [
+        CSCS_TESTBED.replace(L=lat, o=args.overhead, G=args.gap) for lat in latencies
+    ]
+    if any(args.l_max <= p.L for p in params_grid):
+        raise SystemExit(
+            f"--l-max ({args.l_max} µs) must exceed every base latency in the grid"
+        )
+    injectors = [None if name == "none" else name for name in args.injectors]
+    driver = ScenarioFleet(
+        args.apps,
+        nranks=args.nranks,
+        allreduces=args.allreduce,
+        params_grid=params_grid,
+        injectors=injectors,
+        l_max=args.l_max,
+        sim_deltas=args.sim_deltas,
+        backend=args.backend,
+        builder_engine=args.builder_engine,
+        processes=args.processes,
+        cache_dir=args.cache_dir,
+    )
+    result = driver.run(output_dir=args.output_dir)
+    if args.json:
+        print(json.dumps(result.summary, indent=2, sort_keys=True))
+        return 0
+    merged = result.summary["results"]
+    print(f"fleet              : {merged['scenarios']} scenarios over "
+          f"{merged['unique_graphs']} unique graphs "
+          f"({', '.join(merged['apps'])})")
+    print(f"{'scenario':<44s} {'T [s]':>10s} {'λ_L':>8s} {'ρ_L':>7s} {'1% tol [µs]':>12s}")
+    for row in merged["rows"]:
+        tol = row["tolerance_1pct_us"]
+        tol_text = f"{tol:12.1f}" if tol is not None else f"{'—':>12s}"
+        print(f"{row['scenario']:<44s} {row['runtime_us'] / 1e6:10.4f} "
+              f"{row['lambda_L']:8.1f} {row['rho_L'] * 100:6.2f}% {tol_text}")
+    for path in result.shard_paths:
+        print(f"shard              : {path}")
+    if result.summary_path is not None:
+        print(f"summary            : {result.summary_path}")
+    return 0
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "sweep": _cmd_sweep,
@@ -432,6 +521,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "goal": _cmd_goal,
     "cache": _cmd_cache,
+    "fleet": _cmd_fleet,
 }
 
 

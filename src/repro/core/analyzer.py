@@ -26,6 +26,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -98,7 +99,7 @@ class LatencyAnalyzer:
         gap_symbolic: bool = False,
         lp_engine: str = "auto",
         sim_engine: str = "auto",
-        cache_dir: str | None = None,
+        cache_dir: str | os.PathLike | None = None,
     ) -> None:
         self.graph = graph
         self.params = params
@@ -220,6 +221,45 @@ class LatencyAnalyzer:
         self._store.misses["envelope"] += 1
         self._store.put("envelope", key, sweep.envelope)
         return sweep
+
+    @classmethod
+    def sweep_many(
+        cls,
+        graphs: Sequence[ExecutionGraph],
+        params: LogGPSParams,
+        *,
+        l_min: float | None = None,
+        l_max: float = 10_000.0,
+        backend: str = "auto",
+        max_pieces: int = 50_000,
+        processes: int | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        **build_kwargs,
+    ) -> list[BatchedSweep]:
+        """One :class:`BatchedSweep` per graph, via the shared-memory pool.
+
+        The many-graph counterpart of :meth:`batched_sweep`: graphs are
+        deduplicated by content digest, and with ``processes > 1`` the unique
+        ones fan out over a :class:`~repro.parallel.SweepPool` of ``spawn``
+        workers that attach the graph columns zero-copy instead of unpickling
+        private copies.  Every returned sweep wraps a finished envelope
+        (``num_solves == 0`` in this process).
+        """
+        from .parametric import batched_sweep_graphs
+
+        lo = params.L if l_min is None else l_min
+        envelopes = batched_sweep_graphs(
+            graphs,
+            params,
+            l_min=lo,
+            l_max=l_max,
+            backend=backend,
+            max_pieces=max_pieces,
+            processes=processes,
+            cache_dir=cache_dir,
+            **build_kwargs,
+        )
+        return [BatchedSweep.from_envelope(envelope) for envelope in envelopes]
 
     # -- core metrics -------------------------------------------------------------
 

@@ -29,6 +29,7 @@ ranging information.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -125,6 +126,7 @@ class PiecewiseLinear:
         if not self.lines:
             raise ValueError("a piecewise-linear function needs at least one line")
         self.lines = sorted(self.lines, key=lambda ln: ln.slope)
+        self._hull_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # -- evaluation ------------------------------------------------------------
 
@@ -145,6 +147,46 @@ class PiecewiseLinear:
             if abs(line(x) - best_value) <= 1e-9 * max(1.0, abs(best_value)) + 1e-12:
                 best_slope = max(best_slope, line.slope)
         return best_slope
+
+    def _hull_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(slopes, intercepts, breakpoints)`` arrays of the hull.
+
+        The breakpoints are the *unclamped* intersections of consecutive
+        pieces (strictly increasing by the hull construction), so a single
+        ``searchsorted`` maps any ``x`` to its active piece.
+        """
+        if self._hull_cache is None:
+            slopes = np.array([ln.slope for ln in self.lines], dtype=np.float64)
+            intercepts = np.array([ln.intercept for ln in self.lines], dtype=np.float64)
+            bps = np.array(
+                [_intersection(a, b) for a, b in zip(self.lines, self.lines[1:])],
+                dtype=np.float64,
+            )
+            self._hull_cache = (slopes, intercepts, bps)
+        return self._hull_cache
+
+    def slopes(self, xs: Iterable[float]) -> np.ndarray:
+        """Vectorised :meth:`slope` over a sweep of latencies.
+
+        One ``np.searchsorted`` against the cached breakpoints locates the
+        active piece of every query, then indices are bumped rightwards while
+        the next piece ties within the scalar path's tolerance — reproducing
+        the slope-from-above convention (and its tolerance) bit for bit.
+        """
+        xs = np.asarray(list(xs), dtype=np.float64)
+        slopes, intercepts, bps = self._hull_arrays()
+        idx = np.searchsorted(bps, xs, side="right")
+        best = slopes[idx] * xs + intercepts[idx]
+        tol = 1e-9 * np.maximum(1.0, np.abs(best)) + 1e-12
+        n = len(slopes)
+        while True:
+            nxt = np.minimum(idx + 1, n - 1)
+            cand = slopes[nxt] * xs + intercepts[nxt]
+            bump = (idx + 1 < n) & (np.abs(cand - best) <= tol)
+            if not bump.any():
+                break
+            idx = np.where(bump, idx + 1, idx)
+        return np.maximum(slopes[idx], 0.0)
 
     def breakpoints(self) -> list[float]:
         """The critical latencies inside ``(lo, hi)`` where the slope changes."""
@@ -437,8 +479,9 @@ class BatchedSweep:
         return self.envelope.sample(Ls)
 
     def sensitivities(self, Ls: Iterable[float]) -> np.ndarray:
-        """``λ_L`` over a sweep of latencies."""
-        return np.asarray([self.envelope.slope(float(L)) for L in Ls], dtype=np.float64)
+        """``λ_L`` over a sweep of latencies (vectorised; see
+        :meth:`PiecewiseLinear.slopes`)."""
+        return self.envelope.slopes(Ls)
 
     def breakpoints(self) -> list[float]:
         """All critical latencies inside ``(l_min, l_max)``."""
@@ -481,29 +524,54 @@ def batched_sweep_graphs(
     backend: str = "auto",
     max_pieces: int = 50_000,
     processes: int | None = None,
-    cache_dir: str | None = None,
+    cache_dir: str | os.PathLike | None = None,
     **build_kwargs,
 ) -> list[PiecewiseLinear]:
     """Batched sweeps of several independent graphs, optionally in parallel.
 
-    Returns one exact ``T(L)`` envelope per graph.  ``processes > 1`` fans
-    the graphs out over a :mod:`multiprocessing` pool (each worker assembles
-    and sweeps its own graphs); anything else runs serially in-process.
+    Returns one exact ``T(L)`` envelope per graph.  Graphs are deduplicated
+    by :meth:`~repro.schedgen.graph.ExecutionGraph.content_digest` before any
+    LP is assembled — duplicates are solved once and the envelope is fanned
+    out — whether or not a cache directory is configured.
 
-    ``cache_dir`` points the workers at a shared
+    ``processes > 1`` fans the unique graphs out over a persistent
+    :class:`~repro.parallel.SweepPool` of ``spawn`` workers: the graph
+    columns are exported once into shared memory and workers attach
+    zero-copy views instead of unpickling a private copy per task.  Anything
+    else runs serially in-process.
+
+    ``cache_dir`` (any path-like) points all paths at a shared
     :class:`~repro.artifacts.ArtifactStore`: each envelope is keyed by the
     graph/params content digests plus the sweep configuration, so repeated
-    runs (and duplicate graphs within one run) are answered from disk
-    instead of re-building and re-assembling the LP.  The store's writes are
-    atomic, so pool workers may race on a key safely.
+    runs are answered from disk instead of re-building and re-assembling the
+    LP.  The store's writes are atomic, so pool workers may race on a key
+    safely.
     """
-    jobs = [
-        (graph, params, l_min, l_max, backend, max_pieces, cache_dir, build_kwargs)
-        for graph in graphs
-    ]
-    if processes is not None and processes > 1 and len(jobs) > 1:
-        import multiprocessing
+    cache_dir = None if cache_dir is None else os.fspath(cache_dir)
+    graphs = list(graphs)
+    if processes is not None and processes > 1 and len(graphs) > 1:
+        from ..parallel.pool import SweepPool
 
-        with multiprocessing.Pool(min(processes, len(jobs))) as pool:
-            return pool.map(_sweep_one_graph, jobs)
-    return [_sweep_one_graph(job) for job in jobs]
+        with SweepPool(min(processes, len(graphs)), cache_dir=cache_dir) as pool:
+            return pool.sweep_graphs(
+                graphs,
+                params,
+                l_min=l_min,
+                l_max=l_max,
+                backend=backend,
+                max_pieces=max_pieces,
+                **build_kwargs,
+            )
+
+    by_digest: dict[str, PiecewiseLinear] = {}
+    envelopes: list[PiecewiseLinear] = []
+    for graph in graphs:
+        digest = graph.content_digest()
+        envelope = by_digest.get(digest)
+        if envelope is None:
+            envelope = _sweep_one_graph(
+                (graph, params, l_min, l_max, backend, max_pieces, cache_dir, build_kwargs)
+            )
+            by_digest[digest] = envelope
+        envelopes.append(envelope)
+    return envelopes

@@ -1,0 +1,41 @@
+"""Zero-copy multi-process execution of scenario fleets.
+
+The package splits into three layers (see ``README.md`` here):
+
+* :mod:`.shm` — :class:`SharedGraphBuffer` exports a frozen
+  :class:`~repro.schedgen.graph.ExecutionGraph`'s identity columns (plus the
+  cached level structure and labels) into one POSIX shared-memory segment,
+  keyed by its content digest; workers attach read-only NumPy views with no
+  copy and no pickling.  :class:`SharedGraphRegistry` ref-counts the
+  exported segments and unlinks them deterministically.
+* :mod:`.pool` — :class:`SweepPool`, a persistent ``spawn`` worker pool
+  whose tasks are ``(graph_digest, params_digest, sweep spec)`` tuples;
+  duplicate digests inside a batch are solved once, failures surface as
+  :class:`ScenarioError` with the scenario identity attached.
+* :mod:`.fleet` — :class:`ScenarioFleet`, the grid driver behind
+  ``llamp fleet``: expands (app × ranks × algorithm × params × injector)
+  grids, runs them across the pool and writes per-app shards plus one
+  deterministic merged summary.
+"""
+
+from .fleet import FleetResult, Scenario, ScenarioFleet
+from .pool import ScenarioError, SweepPool, SweepTask
+from .shm import (
+    SEGMENT_PREFIX,
+    SharedGraphBuffer,
+    SharedGraphRegistry,
+    live_shared_segments,
+)
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SharedGraphBuffer",
+    "SharedGraphRegistry",
+    "live_shared_segments",
+    "SweepTask",
+    "SweepPool",
+    "ScenarioError",
+    "Scenario",
+    "ScenarioFleet",
+    "FleetResult",
+]

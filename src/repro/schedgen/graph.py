@@ -558,6 +558,60 @@ class ExecutionGraph:
         ("edge_kind", "<i1"),
     )
 
+    def identity_columns(self) -> dict[str, np.ndarray]:
+        """Every identity column as a canonical little-endian array, keyed by
+        name in :attr:`CONTENT_COLUMNS` order.
+
+        This is the array set that defines :meth:`content_digest`; columns
+        already in canonical form are returned as-is (no copy), so the dict
+        can feed serialisation and shared-memory export without duplicating
+        the graph.  Treat the arrays as read-only.
+        """
+        return {
+            name: np.ascontiguousarray(getattr(self, name), dtype=dtype)
+            for name, dtype in self.CONTENT_COLUMNS
+        }
+
+    @classmethod
+    def from_columns(
+        cls,
+        nranks: int,
+        columns: "dict[str, np.ndarray]",
+        labels: dict[int, str] | None = None,
+        *,
+        topo_order: np.ndarray | None = None,
+        level_indptr: np.ndarray | None = None,
+        content_digest: str | None = None,
+        validate: bool = False,
+    ) -> "ExecutionGraph":
+        """Attach a graph directly over pre-frozen identity columns.
+
+        The inverse of :meth:`identity_columns`: ``columns`` maps every
+        :attr:`CONTENT_COLUMNS` name to its array, which is adopted
+        **without copying** — zero-copy attach over shared-memory or
+        memory-mapped views is the intended use (the columns should be
+        read-only in that case).  An already-known level structure and
+        content digest can be re-attached so neither is re-derived; pass
+        ``validate=True`` only for untrusted columns (frozen graphs were
+        validated when first built).
+        """
+        missing = [name for name, _ in cls.CONTENT_COLUMNS if name not in columns]
+        if missing:
+            raise ValueError(f"from_columns is missing identity columns: {missing}")
+        graph = cls(
+            nranks=nranks,
+            labels=dict(labels or {}),
+            **{name: columns[name] for name, _ in cls.CONTENT_COLUMNS},
+        )
+        if topo_order is not None and level_indptr is not None:
+            graph._topo_order = np.asarray(topo_order, dtype=np.int64)
+            graph._level_indptr = np.asarray(level_indptr, dtype=np.int64)
+        if content_digest is not None:
+            graph._content_digest = content_digest
+        if validate:
+            graph.validate()
+        return graph
+
     def content_digest(self) -> str:
         """A stable sha256 hex digest of the graph's defining content.
 

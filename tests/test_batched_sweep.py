@@ -108,6 +108,51 @@ class TestBatchedSweep:
             BatchedSweep(lp, l_min=2.0, l_max=1.0)
 
 
+class TestVectorisedSlopes:
+    """``PiecewiseLinear.slopes`` is parity-pinned against the scalar path."""
+
+    def _assert_parity(self, envelope, xs):
+        scalar = np.array([envelope.slope(float(x)) for x in xs])
+        np.testing.assert_array_equal(envelope.slopes(xs), scalar)
+
+    def test_staircase_including_exact_breakpoints(self):
+        k = 6
+        sweep = BatchedSweep(
+            build_lp(build_staircase(k), ZERO_OVERHEAD), l_min=0.0, l_max=float(k + 2)
+        )
+        envelope = sweep.envelope
+        bps = envelope.breakpoints()
+        assert len(bps) == k - 1
+        xs = np.concatenate([
+            np.linspace(0.0, k + 2, 101),
+            np.array(bps),
+            np.array(bps) - 1e-12,  # within the scalar tolerance from the left
+            np.array(bps) + 1e-12,
+        ])
+        self._assert_parity(envelope, xs)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_dags(self, seed):
+        graph = build_random_dag(seed, nranks=4, rounds=12)
+        params = LogGPSParams(L=0.5, o=0.2, g=0.0, G=0.001)
+        envelope = BatchedSweep(build_lp(graph, params), l_min=0.5, l_max=20.0).envelope
+        xs = np.concatenate([np.linspace(0.5, 20.0, 77), np.array(envelope.breakpoints())])
+        self._assert_parity(envelope, xs)
+
+    def test_sensitivities_uses_the_vectorised_path(self, running_example, paper_params):
+        sweep = BatchedSweep(build_lp(running_example, paper_params), l_min=0.0, l_max=2.0)
+        Ls = np.linspace(0.0, 2.0, 50)
+        np.testing.assert_array_equal(
+            sweep.sensitivities(Ls), sweep.envelope.slopes(Ls)
+        )
+
+    def test_single_line_envelope(self):
+        from repro.core.parametric import Line, PiecewiseLinear
+
+        env = PiecewiseLinear(lines=[Line(2.0, 1.0)], lo=0.0, hi=10.0)
+        self._assert_parity(env, np.linspace(0.0, 10.0, 11))
+
+
 class TestBatchedSweepGraphs:
     def test_serial_and_parallel_agree(self, paper_params):
         graphs = [build_running_example(0.1), build_running_example(1.0), build_staircase(4)]

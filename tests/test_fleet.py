@@ -1,0 +1,113 @@
+"""Tests for the scenario-fleet driver and its ``llamp fleet`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.network.params import CSCS_TESTBED
+from repro.parallel import ScenarioFleet, live_shared_segments
+
+L_MAX = 50.0
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    before = live_shared_segments()
+    yield
+    leaked = live_shared_segments() - before
+    assert not leaked, f"test leaked shared-memory segments: {sorted(leaked)}"
+
+
+def _fleet(**overrides):
+    kwargs = dict(
+        apps=["lulesh"],
+        nranks=[2],
+        allreduces=["ring"],
+        params_grid=[CSCS_TESTBED],
+        injectors=[None, "sender_delay"],
+        l_max=L_MAX,
+        sim_deltas=(0.0, 5.0),
+        processes=1,
+    )
+    kwargs.update(overrides)
+    return ScenarioFleet(**kwargs)
+
+
+class TestScenarioFleet:
+    def test_grid_expansion_is_the_full_product(self):
+        fleet = _fleet(
+            apps=["lulesh", "hpcg"],
+            nranks=[2, 4],
+            allreduces=["ring", "recursive_doubling"],
+            params_grid=[CSCS_TESTBED, CSCS_TESTBED.replace(L=10.0)],
+            injectors=[None, "sender_delay", "ideal"],
+        )
+        scenarios = fleet.scenarios()
+        assert len(scenarios) == 2 * 2 * 2 * 2 * 3
+        assert len({sc.name for sc in scenarios}) == len(scenarios)
+        # deterministic nested-loop order: apps is the outermost axis
+        assert scenarios[0].app == "lulesh" and scenarios[-1].app == "hpcg"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown applications"):
+            _fleet(apps=["not_an_app"])
+
+    def test_run_produces_rows_and_metrics(self):
+        result = _fleet().run()
+        assert len(result.rows) == 2
+        lp_row = next(r for r in result.rows if r["injector"] is None)
+        sim_row = next(r for r in result.rows if r["injector"] == "sender_delay")
+        for row in (lp_row, sim_row):
+            assert row["runtime_us"] > 0
+            assert row["lambda_L"] >= 0
+            assert 0 <= row["rho_L"] <= 1
+            assert row["tolerance_1pct_us"] is not None
+        assert "sim_runtime_us" not in lp_row
+        assert len(sim_row["sim_runtime_us"]) == 2  # one per sim delta
+        assert result.summary["results"]["unique_graphs"] == 1
+
+    def test_shards_and_summary_are_deterministic(self, tmp_path):
+        out1, out2 = tmp_path / "run1", tmp_path / "run2"
+        r1 = _fleet().run(output_dir=out1)
+        r2 = _fleet().run(output_dir=out2)
+        assert [p.name for p in r1.shard_paths] == ["FLEET_lulesh.json"]
+        assert r1.summary_path.name == "FLEET_summary.json"
+        assert r1.summary_path.read_bytes() == r2.summary_path.read_bytes()
+        shard = json.loads(r1.shard_paths[0].read_text())
+        assert shard["bench"] == "fleet_lulesh"
+        assert len(shard["results"]) == 2
+        summary = json.loads(r1.summary_path.read_text())
+        assert summary["results"]["scenarios"] == 2
+        names = [row["scenario"] for row in summary["results"]["rows"]]
+        assert names == sorted(names)
+
+
+class TestFleetCli:
+    ARGS = [
+        "fleet", "lulesh",
+        "--nranks", "2",
+        "--allreduce", "ring",
+        "--injectors", "none", "sender_delay",
+        "--l-max", str(L_MAX),
+        "--processes", "1",
+    ]
+
+    def test_text_output_and_shards(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--output-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 scenarios" in out
+        assert (tmp_path / "FLEET_lulesh.json").exists()
+        assert (tmp_path / "FLEET_summary.json").exists()
+
+    def test_json_output(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bench"] == "fleet_summary"
+        assert payload["results"]["scenarios"] == 2
+
+    def test_l_max_must_exceed_base_latency(self):
+        with pytest.raises(SystemExit, match="l-max"):
+            main(["fleet", "lulesh", "--latencies", "100.0", "--l-max", "50.0"])

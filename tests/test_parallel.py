@@ -1,0 +1,280 @@
+"""Tests for :mod:`repro.parallel`: shared graph segments and the sweep pool.
+
+Every test in this module runs under an autouse leak-check fixture: the set
+of ``llamp-*`` segments in ``/dev/shm`` must be unchanged after each test,
+so any export without a matching unlink — including on error paths — fails
+the test that caused it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactStore
+from repro.core.lp_builder import build_lp
+from repro.core.parametric import BatchedSweep, batched_sweep_graphs
+from repro.network.params import CSCS_TESTBED
+from repro.parallel import (
+    ScenarioError,
+    SharedGraphBuffer,
+    SharedGraphRegistry,
+    SweepPool,
+    SweepTask,
+    live_shared_segments,
+)
+from repro.schedgen.graph import ExecutionGraph
+from repro.testing import build_random_dag, build_running_example
+
+PARAMS = CSCS_TESTBED
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    before = live_shared_segments()
+    yield
+    leaked = live_shared_segments() - before
+    assert not leaked, f"test leaked shared-memory segments: {sorted(leaked)}"
+
+
+def _reference_envelope(graph, l_min=0.0, l_max=100.0):
+    lp = build_lp(graph, PARAMS, latency_mode="global")
+    return BatchedSweep(lp, l_min=l_min, l_max=l_max).envelope
+
+
+def _task(graph, *, scenario=None, segment=None, params=PARAMS, **overrides):
+    kwargs = dict(
+        graph_digest=graph.content_digest(),
+        params_digest=params.content_digest(),
+        l_min=0.0,
+        l_max=100.0,
+        build_kwargs=(("latency_mode", "global"),),
+        params=params,
+        scenario=scenario,
+        segment=segment,
+    )
+    kwargs.update(overrides)
+    return SweepTask(**kwargs)
+
+
+class TestSharedGraphBuffer:
+    def test_round_trip_preserves_identity(self):
+        graph = build_running_example()
+        graph.topological_order()  # populate the cached level structure
+        buffer = SharedGraphBuffer.export(graph)
+        try:
+            attached = SharedGraphBuffer.attach(buffer.name)
+            try:
+                twin = attached.graph
+                assert twin.content_digest() == graph.content_digest()
+                assert twin.nranks == graph.nranks
+                assert twin.labels == graph.labels
+                for name, _ in ExecutionGraph.CONTENT_COLUMNS:
+                    assert np.array_equal(getattr(twin, name), getattr(graph, name)), name
+                # the exported level structure rides along: no re-sort needed
+                assert twin._topo_order is not None
+                assert np.array_equal(twin.topological_order(), graph.topological_order())
+            finally:
+                attached.close()
+        finally:
+            buffer.unlink()
+
+    def test_attached_views_are_zero_copy_and_readonly(self):
+        graph = build_running_example()
+        buffer = SharedGraphBuffer.export(graph)
+        try:
+            attached = SharedGraphBuffer.attach(buffer.name)
+            try:
+                cost = attached.graph.cost
+                assert not cost.flags.writeable
+                assert not cost.flags.owndata  # a view into the segment
+                with pytest.raises(ValueError):
+                    cost[0] = 42.0
+            finally:
+                attached.close()
+        finally:
+            buffer.unlink()
+
+    def test_attach_unknown_segment(self):
+        with pytest.raises(FileNotFoundError):
+            SharedGraphBuffer.attach("llamp-does-not-exist")
+
+    def test_attach_rejects_unknown_format(self):
+        graph = build_running_example()
+        buffer = SharedGraphBuffer.export(graph)
+        try:
+            header = np.ndarray(8, dtype="<i8", buffer=buffer._shm.buf)
+            header[0] = 999
+            with pytest.raises(ValueError, match="format"):
+                SharedGraphBuffer.attach(buffer.name)
+        finally:
+            buffer.unlink()
+
+    def test_only_owner_may_unlink(self):
+        graph = build_running_example()
+        buffer = SharedGraphBuffer.export(graph)
+        try:
+            attached = SharedGraphBuffer.attach(buffer.name)
+            with pytest.raises(RuntimeError, match="exporting process"):
+                attached.unlink()
+            attached.close()
+        finally:
+            buffer.unlink()
+
+
+class TestSharedGraphRegistry:
+    def test_refcounted_unlink(self):
+        graph = build_running_example()
+        registry = SharedGraphRegistry()
+        before = live_shared_segments()
+        name1 = registry.acquire(graph)
+        name2 = registry.acquire(graph)
+        assert name1 == name2  # same digest → same segment
+        assert len(registry) == 1
+        assert live_shared_segments() - before == {name1}
+        registry.release(graph.content_digest())
+        assert live_shared_segments() - before == {name1}  # one ref remains
+        registry.release(graph.content_digest())
+        assert live_shared_segments() == before
+        assert len(registry) == 0
+        registry.close()
+
+    def test_release_unknown_digest(self):
+        registry = SharedGraphRegistry()
+        with pytest.raises(KeyError):
+            registry.release("0" * 64)
+        registry.close()
+
+    def test_context_manager_releases_everything(self):
+        graph = build_running_example()
+        before = live_shared_segments()
+        with SharedGraphRegistry() as registry:
+            registry.acquire(graph)
+            registry.acquire(graph)
+            assert live_shared_segments() != before
+        assert live_shared_segments() == before
+
+
+class TestSweepPoolInline:
+    """``processes=1`` runs tasks in-process through the same code path."""
+
+    def test_matches_direct_sweep(self):
+        graph = build_running_example()
+        with SweepPool(1) as pool:
+            envelopes = pool.sweep_graphs([graph], PARAMS, l_min=0.0, l_max=100.0)
+        assert envelopes[0] == _reference_envelope(graph)
+
+    def test_duplicates_solved_once(self):
+        graph = build_running_example()
+        tasks = [_task(graph, scenario=f"s{i}") for i in range(4)]
+        with SweepPool(1) as pool:
+            payloads = pool.run_tasks(tasks, {graph.content_digest(): graph})
+        assert len(payloads) == 4
+        # duplicates fan out the representative's payload, not a re-solve
+        assert all(p is payloads[0] for p in payloads[1:])
+
+    def test_unresolvable_digest_is_a_scenario_error(self):
+        graph = build_running_example()
+        task = _task(graph, scenario="orphan")
+        with SweepPool(1) as pool:
+            with pytest.raises(ScenarioError, match="orphan") as excinfo:
+                pool.run_tasks([task], {})  # graph not provided anywhere
+        assert excinfo.value.exc_type == "LookupError"
+
+    def test_resolves_from_artifact_store(self, tmp_path):
+        graph = build_running_example()
+        store = ArtifactStore(tmp_path)
+        store.put("graph", graph.content_digest(), graph)
+        task = _task(graph)
+        with SweepPool(1, cache_dir=tmp_path) as pool:
+            payloads = pool.run_tasks([task], {})
+        assert payloads[0]["envelope"] == _reference_envelope(graph)
+
+    def test_closed_pool_rejects_work(self):
+        pool = SweepPool(1)
+        pool.close()
+        graph = build_running_example()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool._ensure_pool()
+
+
+class TestSweepPoolWorkers:
+    """Real ``spawn`` workers attached to shared segments."""
+
+    def test_order_restored_and_duplicates_deduped(self):
+        g1 = build_running_example()
+        g2 = build_random_dag(7, nranks=4, rounds=12)
+        graphs = [g1, g2, g1, g2, g1]
+        with SweepPool(2) as pool:
+            envelopes = pool.sweep_graphs(graphs, PARAMS, l_min=0.0, l_max=100.0)
+        assert envelopes[0] == envelopes[2] == envelopes[4]
+        assert envelopes[1] == envelopes[3]
+        assert envelopes[0] == _reference_envelope(g1)
+        assert envelopes[1] == _reference_envelope(g2)
+
+    def test_worker_failure_carries_scenario_and_pool_survives(self):
+        graph = build_running_example()
+        good = _task(graph, scenario="good")
+        bad = _task(
+            graph,
+            scenario="doomed-scenario",
+            build_kwargs=(("latency_mode", "bogus"),),
+        )
+        graphs = {graph.content_digest(): graph}
+        with SweepPool(2) as pool:
+            with pytest.raises(ScenarioError, match="doomed-scenario") as excinfo:
+                pool.run_tasks([good, bad], graphs)
+            assert "bogus" in str(excinfo.value)
+            assert excinfo.value.worker_traceback
+            # the pool is not poisoned: the next batch still runs
+            payloads = pool.run_tasks([good], graphs)
+            assert payloads[0]["envelope"] == _reference_envelope(graph)
+
+
+class TestBatchedSweepGraphsRewired:
+    def test_serial_dedupes_without_cache_dir(self, monkeypatch):
+        graph = build_running_example()
+        calls = []
+        import repro.core.parametric as parametric
+
+        real = parametric._sweep_one_graph
+
+        def counting(job):
+            calls.append(job)
+            return real(job)
+
+        monkeypatch.setattr(parametric, "_sweep_one_graph", counting)
+        envelopes = batched_sweep_graphs(
+            [graph, graph, graph], PARAMS, l_min=0.0, l_max=100.0
+        )
+        assert len(calls) == 1  # solved once, fanned out
+        assert envelopes[0] is envelopes[1] is envelopes[2]
+
+    def test_pathlike_cache_dir(self, tmp_path):
+        graph = build_running_example()
+        envelopes = batched_sweep_graphs(
+            [graph], PARAMS, l_min=0.0, l_max=100.0, cache_dir=tmp_path
+        )
+        assert envelopes[0] == _reference_envelope(graph)
+        store = ArtifactStore(tmp_path)
+        assert len(store.entries("envelope")) == 1
+
+    def test_analyzer_accepts_pathlike_cache_dir(self, tmp_path):
+        from repro.core.analyzer import LatencyAnalyzer
+
+        graph = build_running_example()
+        analyzer = LatencyAnalyzer(graph, PARAMS, cache_dir=tmp_path)
+        assert analyzer.store is not None
+        sweep = analyzer.batched_sweep(l_max=100.0)
+        assert sweep.value(PARAMS.L) > 0
+
+    def test_analyzer_sweep_many(self):
+        from repro.core.analyzer import LatencyAnalyzer
+
+        graph = build_running_example()
+        sweeps = LatencyAnalyzer.sweep_many(
+            [graph, graph], PARAMS, l_min=0.0, l_max=100.0
+        )
+        assert len(sweeps) == 2
+        assert sweeps[0].num_solves == 0  # restored from a finished envelope
+        assert sweeps[0].envelope == _reference_envelope(graph)
