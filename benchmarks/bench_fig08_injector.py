@@ -15,7 +15,14 @@ import pytest
 from repro import CSCS_TESTBED
 from repro.mpi import run_program
 from repro.schedgen import build_graph
-from repro.simulator import INJECTOR_NAMES, make_injector, simulate, two_message_model
+from repro.simulator import (
+    INJECTOR_NAMES,
+    make_injector,
+    simulate,
+    simulate_sweep,
+    simulate_sweep_grid,
+    two_message_model,
+)
 
 from _bench_utils import emit_json, print_header, print_rows
 
@@ -41,10 +48,24 @@ def _run():
         (name, delta): two_message_model(CSCS_TESTBED, delta, name)
         for name in INJECTOR_NAMES for delta in DELTAS
     }
+    # All four strategies over the whole ΔL axis in ONE graph traversal.
+    grid = simulate_sweep_grid(graph, CSCS_TESTBED, DELTAS, injectors=INJECTOR_NAMES)
     simulated = {
-        (name, delta): simulate(graph, CSCS_TESTBED, injector=make_injector(name, delta)).makespan
-        for name in INJECTOR_NAMES for delta in DELTAS
+        (name, delta): float(grid.makespan[i, k])
+        for i, name in enumerate(INJECTOR_NAMES)
+        for k, delta in enumerate(DELTAS)
     }
+
+    # Result identity: the single-traversal grid must reproduce the
+    # per-injector sweep loop bit-for-bit …
+    for i, name in enumerate(INJECTOR_NAMES):
+        loop = simulate_sweep(graph, CSCS_TESTBED, DELTAS, injector=name)
+        np.testing.assert_array_equal(grid.makespan[i], loop.makespan)
+        np.testing.assert_array_equal(grid.rank_finish[i], loop.rank_finish)
+    # … and the per-point scalar simulator to solver precision.
+    for (name, delta), makespan in simulated.items():
+        point = simulate(graph, CSCS_TESTBED, injector=make_injector(name, delta))
+        assert makespan == pytest.approx(point.makespan, abs=1e-9)
     return analytic, simulated
 
 

@@ -68,6 +68,26 @@ def _app_graph(args: argparse.Namespace, params: LogGPSParams):
     )
 
 
+def _app_schedule(args: argparse.Namespace, params: LogGPSParams):
+    """The app as a :class:`~repro.schedgen.columnar.ScheduleBatches` spec.
+
+    Used by the analyze-only commands when ``--lp-engine`` is ``auto`` or
+    ``fused``: the LP is lowered batches → CSR directly and no frozen graph
+    is ever built (digest-compatible with :func:`_app_graph`'s output).
+    """
+    from .schedgen.builder import ProtocolConfig
+    from .schedgen.columnar import ScheduleBatches
+
+    if args.app not in ALL_APPS:
+        raise SystemExit(f"unknown application {args.app!r}; choose from {sorted(ALL_APPS)}")
+    module = ALL_APPS[args.app]
+    return ScheduleBatches.from_program(
+        module.program(args.nranks),
+        algorithms=CollectiveAlgorithms(allreduce=args.allreduce),
+        protocol=ProtocolConfig.from_params(params),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="llamp",
@@ -80,10 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--gap", type=float, default=CSCS_TESTBED.G,
                         help="per-byte gap G in µs/byte (default: %(default)s)")
     parser.add_argument("--lp-engine", default="auto",
-                        choices=("auto", "symbolic", "compiled"),
+                        choices=("auto", "symbolic", "compiled", "fused"),
                         help="graph→LP construction engine: the per-vertex symbolic "
-                             "sweep or the vectorised compiler (default: %(default)s, "
-                             "compiled for large graphs)")
+                             "sweep, the vectorised compiler, or the fused "
+                             "batches→CSR path that never freezes a graph "
+                             "(default: %(default)s — fused on analyze-only "
+                             "commands, compiled for large graphs elsewhere; "
+                             "all engines emit bit-identical LPs)")
     parser.add_argument("--builder-engine", default="auto",
                         choices=("auto", "legacy", "columnar"),
                         help="schedule→graph construction engine: the op-by-op "
@@ -218,13 +241,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     params = _params_from_args(args)
-    graph = _app_graph(args, params)
-    analyzer = LatencyAnalyzer(graph, params, lp_engine=args.lp_engine)
+    # analyze-only command: auto/fused take the fused batches→CSR path (the
+    # frozen graph would be built only to be re-lowered and thrown away)
+    if args.lp_engine in ("auto", "fused"):
+        source = _app_schedule(args, params)
+    else:
+        source = _app_graph(args, params)
+    analyzer = LatencyAnalyzer(source, params, lp_engine=args.lp_engine)
     summary = analyzer.summary()
     if args.json:
         print(json.dumps(summary, indent=2))
         return 0
-    print(f"application        : {args.app} ({args.nranks} ranks, {graph.num_events} events)")
+    print(f"application        : {args.app} ({args.nranks} ranks, "
+          f"{analyzer.graph.num_events} events)")
     print(f"predicted runtime  : {summary['runtime_us'] / 1e6:.4f} s")
     print(f"lambda_L           : {summary['lambda_L']:.1f} messages on the critical path")
     print(f"rho_L              : {summary['rho_L'] * 100:.2f} % of the critical path is latency")
@@ -266,10 +295,14 @@ def _cmd_curve(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"--l-max ({args.l_max} µs) must exceed the base latency ({params.L} µs)"
         )
-    graph = _app_graph(args, params)
+    if args.lp_engine in ("auto", "fused"):
+        source = _app_schedule(args, params)
+    else:
+        source = _app_graph(args, params)
     analyzer = LatencyAnalyzer(
-        graph, params, backend=args.backend, lp_engine=args.lp_engine
+        source, params, backend=args.backend, lp_engine=args.lp_engine
     )
+    graph = analyzer.graph
     sweep = analyzer.batched_sweep(l_max=args.l_max)
     Ls = np.linspace(params.L, args.l_max, args.points)
     values = sweep.values(Ls)

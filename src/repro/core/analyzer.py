@@ -101,7 +101,17 @@ class LatencyAnalyzer:
         sim_engine: str = "auto",
         cache_dir: str | os.PathLike | None = None,
     ) -> None:
-        self.graph = graph
+        from ..schedgen.columnar import ScheduleBatches
+
+        if isinstance(graph, ScheduleBatches):
+            # fused analyze-only path: keep the batch spec; the execution
+            # graph is only materialised (zero-copy, never frozen) if a
+            # graph-consuming method is actually called
+            self._schedule = graph
+            self._graph: ExecutionGraph | None = None
+        else:
+            self._schedule = None
+            self._graph = graph
         self.params = params
         self.backend = backend
         self._gap_symbolic = gap_symbolic
@@ -115,6 +125,50 @@ class LatencyAnalyzer:
 
             self._store = ArtifactStore(cache_dir)
 
+    @classmethod
+    def from_program(cls, program, params: LogGPSParams, *, algorithms=None,
+                     protocol=None, **kwargs) -> "LatencyAnalyzer":
+        """Analyze ``program`` end-to-end on the fused pipeline.
+
+        The program is columnarised once
+        (:func:`~repro.schedgen.columnar.batches_from_program`) and held as a
+        :class:`~repro.schedgen.columnar.ScheduleBatches` spec; the LP is
+        lowered batches → CSR directly, and a (zero-copy, analyze-only)
+        execution graph only exists if something graph-shaped is requested.
+        """
+        from ..schedgen.columnar import ScheduleBatches
+
+        spec = ScheduleBatches.from_program(
+            program, algorithms=algorithms, protocol=protocol
+        )
+        return cls(spec, params, **kwargs)
+
+    @classmethod
+    def from_batches(cls, batches, nranks: int, params: LogGPSParams, *,
+                     algorithms=None, protocol=None, **kwargs) -> "LatencyAnalyzer":
+        """Analyze columnar :class:`~repro.schedgen.columnar.RankOpBatch`
+        arrays on the fused pipeline (see :meth:`from_program`)."""
+        from ..schedgen.columnar import ScheduleBatches
+
+        spec = ScheduleBatches(batches, nranks, algorithms=algorithms, protocol=protocol)
+        return cls(spec, params, **kwargs)
+
+    @property
+    def graph(self) -> ExecutionGraph:
+        """The execution graph under analysis.
+
+        For analyzers built from batch specs the graph is materialised on
+        first access through the fused builder (zero-copy columns, condensed
+        levels, digest identical to the frozen build) and cached.
+        """
+        if self._graph is None:
+            self._graph = self._schedule.graph_for(self.params)
+        return self._graph
+
+    @graph.setter
+    def graph(self, value: ExecutionGraph) -> None:
+        self._graph = value
+
     @property
     def store(self):
         """The :class:`~repro.artifacts.ArtifactStore` behind ``cache_dir``
@@ -127,8 +181,9 @@ class LatencyAnalyzer:
     def lp(self) -> GraphLP:
         """The generated LP (built on first use, then cached and re-solved)."""
         if self._lp is None:
+            source = self._schedule if self._schedule is not None else self.graph
             self._lp = build_lp(
-                self.graph,
+                source,
                 self.params,
                 latency_mode="global",
                 gap_mode="global" if self._gap_symbolic else "constant",

@@ -288,8 +288,14 @@ def build_lp(
         ``"symbolic"`` — the per-vertex topological sweep (Algorithm 1 as
         written in the paper); ``"compiled"`` — the vectorised lowering of
         :mod:`repro.lp.compiler`, which emits the same LP structure directly
-        as CSR arrays; ``"auto"`` (default) — compiled for graphs with at
-        least :data:`COMPILED_ENGINE_THRESHOLD` vertices, symbolic below.
+        as CSR arrays; ``"fused"`` — the analyze-only batch path: ``graph``
+        is a :class:`~repro.schedgen.columnar.ScheduleBatches` spec whose op
+        batches are lowered straight to CSR over a zero-copy, never-frozen
+        execution graph (bit-identical output); ``"auto"`` (default) —
+        fused whenever the input is a batch spec (the graph was never
+        requested, so the frozen round-trip is pure overhead), otherwise
+        compiled for graphs with at least :data:`COMPILED_ENGINE_THRESHOLD`
+        vertices and symbolic below.
     """
     if latency_mode not in ("global", "per_pair", "constant"):
         raise ValueError(f"unknown latency_mode {latency_mode!r}")
@@ -297,8 +303,21 @@ def build_lp(
         raise ValueError(f"unknown gap_mode {gap_mode!r}")
     if overhead_mode not in ("constant", "global"):
         raise ValueError(f"unknown overhead_mode {overhead_mode!r}")
-    if engine not in ("auto", "symbolic", "compiled"):
+    if engine not in ("auto", "symbolic", "compiled", "fused"):
         raise ValueError(f"unknown engine {engine!r}")
+    from ..schedgen.columnar import ScheduleBatches
+
+    if isinstance(graph, ScheduleBatches):
+        # batch-spec input: materialise the analyze-only graph (zero-copy,
+        # cached on the spec) and prefer the direct CSR lowering — symbolic
+        # remains available as the reference on the same graph
+        graph = graph.graph_for(params)
+        if engine in ("auto", "fused"):
+            engine = "compiled"
+    elif engine == "fused":
+        # an already-built graph cannot skip its own construction; the CSR
+        # emission is the same either way
+        engine = "compiled"
     if engine == "auto":
         engine = (
             "compiled"

@@ -548,7 +548,16 @@ def batched_sweep_graphs(
     safely.
     """
     cache_dir = None if cache_dir is None else os.fspath(cache_dir)
-    graphs = list(graphs)
+    from ..schedgen.columnar import ScheduleBatches
+
+    # batch-column entries (fused callers) are materialised through the
+    # zero-copy fused builder — never frozen — and then flow through the
+    # digest dedupe / cache / pool machinery unchanged, since the fused
+    # graph's content digest equals the frozen one's
+    graphs = [
+        graph.graph_for(params) if isinstance(graph, ScheduleBatches) else graph
+        for graph in graphs
+    ]
     if processes is not None and processes > 1 and len(graphs) > 1:
         from ..parallel.pool import SweepPool
 

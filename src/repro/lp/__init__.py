@@ -2,7 +2,7 @@
 
 from .assembler import AssembledLP, assemble, assemble_rows
 from .backends import BackendRegistry, BackendSpec, auto_backend_choice, default_registry
-from .compiler import CompiledLP, compile_lp
+from .compiler import CompiledLP, compile_lp, compile_lp_from_batches
 from .parametric import EnvelopeOverflowError, ParametricLP, Tangent, TangentEnvelope
 from .model import (
     Constraint,
@@ -38,6 +38,7 @@ __all__ = [
     "assemble_rows",
     "CompiledLP",
     "compile_lp",
+    "compile_lp_from_batches",
     "ParametricLP",
     "Tangent",
     "TangentEnvelope",

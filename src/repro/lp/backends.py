@@ -168,6 +168,28 @@ def _solve_simplex_backend(
     return solve_simplex(model, warm_start=warm_start, **options)
 
 
+# The native highspy bindings are optional; when importable they register as
+# a fourth backend with a real simplex-basis warm start (ParametricLP's basis
+# hand-off activates on supports_warm_start).  Environments without the
+# package see an unchanged registry — no stub entry, no import error.
+from .highspy_backend import HAVE_HIGHSPY
+
+if HAVE_HIGHSPY:  # pragma: no cover - requires the optional highspy package
+
+    @default_registry.register(
+        "highspy",
+        description="native HiGHS bindings with simplex basis warm starts",
+        supports_duals=True,
+        supports_warm_start=True,
+    )
+    def _solve_highspy_backend(
+        model: LPModel, *, warm_start: LPSolution | np.ndarray | None = None, **options: object
+    ) -> LPSolution:
+        from .highspy_backend import solve_highspy
+
+        return solve_highspy(model, warm_start=warm_start, **options)
+
+
 # Below these sizes the dense simplex beats linprog's fixed per-call overhead
 # (~2.5 ms on this hardware vs ~0.15 ms for an 8-variable model).
 _AUTO_MAX_VARS = 64

@@ -1,0 +1,152 @@
+"""Native HiGHS backend via ``highspy`` with simplex basis warm starts.
+
+The scipy backend (:mod:`repro.lp.scipy_backend`) drives HiGHS through
+:func:`scipy.optimize.linprog`, which rebuilds the solver instance on every
+call and offers no basis hand-off.  When the ``highspy`` bindings are
+available we can instead keep the optimal simplex basis from one solve and
+seed the next with it — exactly the Gurobi warm-start trick the paper uses
+for its latency sweeps (re-solving the same LP with a perturbed bound
+typically re-optimises in a handful of dual simplex iterations).
+
+The module is import-gated: ``highspy`` is an optional dependency, and
+:data:`HAVE_HIGHSPY` reports whether the backend is usable.  Registration in
+the default registry (see :mod:`repro.lp.backends`) only happens when the
+import succeeds, so environments without the package see an unchanged
+backend list.
+
+The lowering reuses :mod:`repro.lp.assembler`: the cached CSR standard form
+``min c^T x`` s.t. ``A_ub x <= b_ub`` maps directly onto a row-wise
+``HighsLp`` with row bounds ``(-inf, b_ub)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .assembler import assemble
+from .model import (
+    InfeasibleError,
+    LPError,
+    LPModel,
+    LPSolution,
+    Status,
+    UnboundedError,
+)
+
+try:  # pragma: no cover - exercised only where highspy is installed
+    import highspy
+except ImportError:  # pragma: no cover
+    highspy = None  # type: ignore[assignment]
+
+#: True when the ``highspy`` bindings imported successfully.
+HAVE_HIGHSPY = highspy is not None
+
+__all__ = ["HAVE_HIGHSPY", "solve_highspy"]
+
+
+def _build_highs_lp(assembled) -> "highspy.HighsLp":  # pragma: no cover
+    n = len(assembled.c)
+    lp = highspy.HighsLp()
+    lp.num_col_ = n
+    lp.col_cost_ = np.asarray(assembled.c, dtype=np.float64)
+    lp.col_lower_ = np.asarray(assembled.lb, dtype=np.float64)
+    lp.col_upper_ = np.asarray(assembled.ub, dtype=np.float64)
+    if assembled.A_ub is not None:
+        m = assembled.A_ub.shape[0]
+        lp.num_row_ = m
+        lp.row_lower_ = np.full(m, -np.inf)
+        lp.row_upper_ = np.asarray(assembled.b_ub, dtype=np.float64)
+        lp.a_matrix_.format_ = highspy.MatrixFormat.kRowwise
+        lp.a_matrix_.start_ = assembled.A_ub.indptr.astype(np.int32)
+        lp.a_matrix_.index_ = assembled.A_ub.indices.astype(np.int32)
+        lp.a_matrix_.value_ = assembled.A_ub.data.astype(np.float64)
+    else:
+        lp.num_row_ = 0
+    return lp
+
+
+def solve_highspy(  # pragma: no cover - requires the optional highspy package
+    model: LPModel,
+    *,
+    warm_start: LPSolution | np.ndarray | None = None,
+    presolve: bool = True,
+    time_limit: float | None = None,
+) -> LPSolution:
+    """Solve ``model`` with the native ``highspy`` bindings.
+
+    ``warm_start`` accepts a previous :class:`LPSolution` produced by this
+    backend: its stored simplex basis (attached as ``_highspy_basis``) seeds
+    the new solve, so re-solves after a bounds change converge in a few dual
+    simplex iterations.  A bare primal vector (or a solution from another
+    backend) falls back to a primal crash start.  The returned solution
+    carries the optimal basis for the next hand-off.
+    """
+    if highspy is None:
+        raise LPError(
+            "the 'highspy' package is not installed; use backend='highs' "
+            "(scipy) instead"
+        )
+    if model.num_vars == 0:
+        raise LPError("model has no variables")
+    assembled = assemble(model)
+
+    solver = highspy.Highs()
+    solver.setOptionValue("output_flag", False)
+    solver.setOptionValue("presolve", "on" if presolve else "off")
+    if time_limit is not None:
+        solver.setOptionValue("time_limit", float(time_limit))
+    solver.passModel(_build_highs_lp(assembled))
+
+    basis = getattr(warm_start, "_highspy_basis", None)
+    if basis is not None:
+        # A basis from a structurally identical prior solve: dual simplex
+        # re-optimises from it directly.  HiGHS rejects mismatched sizes, in
+        # which case we simply solve cold.
+        solver.setBasis(basis)
+    elif warm_start is not None:
+        values = getattr(warm_start, "values", warm_start)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape == (model.num_vars,):
+            sol = highspy.HighsSolution()
+            sol.col_value = values
+            solver.setSolution(sol)
+
+    solver.run()
+    status = solver.getModelStatus()
+    if status == highspy.HighsModelStatus.kInfeasible:
+        raise InfeasibleError(f"LP {model.name!r} is infeasible")
+    if status == highspy.HighsModelStatus.kUnbounded:
+        raise UnboundedError(f"LP {model.name!r} is unbounded")
+    if status != highspy.HighsModelStatus.kOptimal:
+        raise LPError(f"LP {model.name!r} failed: {solver.modelStatusToString(status)}")
+
+    obj_sign = assembled.obj_sign
+    hsol = solver.getSolution()
+    values = np.asarray(hsol.col_value, dtype=np.float64)
+    info = solver.getInfo()
+    objective = obj_sign * float(info.objective_function_value) + assembled.obj_const
+
+    # HiGHS duals are sensitivities of the *minimisation* objective; flip back
+    # to the user's sense exactly like the scipy backend does.  col_dual is
+    # the reduced cost w.r.t. the active bound — for the >=-rows LLAMP emits
+    # the binding bound is the lower one, matching d(obj)/d(lb).
+    reduced_costs = obj_sign * np.asarray(hsol.col_dual, dtype=np.float64)
+    duals = None
+    if model.num_constraints:
+        duals = obj_sign * np.asarray(hsol.row_dual, dtype=np.float64)
+
+    iterations = int(getattr(info, "simplex_iteration_count", 0) or 0)
+    solution = LPSolution(
+        status=Status.OPTIMAL,
+        objective=objective,
+        values=values,
+        reduced_costs=reduced_costs,
+        duals=duals,
+        lower_range=None,
+        iterations=iterations,
+        backend="highspy",
+        _model=model,
+    )
+    # Stash the optimal basis for the next warm-started solve.
+    solution._highspy_basis = solver.getBasis()  # type: ignore[attr-defined]
+    return solution

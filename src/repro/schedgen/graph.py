@@ -953,6 +953,122 @@ class ExecutionGraph:
         )
 
 
+def chain_condensed_levels(graph: "ExecutionGraph") -> tuple[np.ndarray, np.ndarray]:
+    """Compute ``(level_indptr, order)`` via the chain-condensed DAG.
+
+    Produces exactly the level structure of
+    :meth:`ExecutionGraph.topo_levels` — longest-path levels, vertices sorted
+    level-major / vertex-id-minor — but without the per-level frontier peel.
+    Single-predecessor chain vertices have ``level(v) = level(anchor) +
+    depth`` where ``anchor`` is the nearest source/merge ancestor, so only
+    the condensed DAG over sources and merge points needs relaxation:
+
+    1. anchor/depth for every chain vertex by pointer jumping (O(log chain)),
+    2. wave relaxation of merge levels over the condensed edges
+       (one condensed edge per merge in-edge, weight ``depth(src) + 1``),
+    3. ``level = level[anchor] + depth`` and one stable argsort.
+
+    Longest-path levels are unique, and a stable sort by level reproduces the
+    deterministic order contract bit-for-bit, so the result is
+    interchangeable with the peeled structure.  Intended for graphs whose
+    construction is trusted (the fused analyze-only path); unlike the peel it
+    is not a general cycle detector, though an undrained condensed DAG — a
+    cycle through merge points — still raises.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64)
+    indeg = graph.in_degrees()
+    parent = graph.chain_parent()
+
+    # -- 1. anchor + depth of every vertex (pointer jumping) -----------------
+    is_chain = indeg == 1
+    ids = np.arange(n, dtype=np.int64)
+    anchor = np.where(is_chain, parent, ids)
+    depth = is_chain.astype(np.int64)
+    # Vertex ids are emission-ordered, so the dominant chain shape — a rank's
+    # consecutive compute ops — is a contiguous id run whose links satisfy
+    # parent == id - 1.  Collapse those runs in one O(n) pass (anchor = the
+    # last non-run vertex at or before each position, depth = the distance),
+    # which leaves the pointer-jumping loop only the sparse non-contiguous
+    # links (cross-segment continuations): O(log #segments) iterations
+    # instead of O(log chain-length).  The seed is a valid partial
+    # compression, so the fixpoint — and the final levels — are unchanged.
+    run = is_chain & (parent == ids - 1)
+    if run.any():
+        base = np.maximum.accumulate(np.where(run, np.int64(-1), ids))
+        anchor = np.where(run, base, anchor)
+        depth = np.where(run, ids - base, depth)
+    # After the seed only the sparse cross-segment links remain unresolved,
+    # so jump on that index subset instead of re-scanning the full arrays.
+    active = np.flatnonzero(is_chain[anchor])
+    while active.size:
+        a = anchor[active]
+        depth[active] += depth[a]
+        anchor[active] = anchor[a]
+        active = active[is_chain[anchor[active]]]
+
+    # -- 2. wave relaxation of merge levels over the condensed DAG -----------
+    level = np.zeros(n, dtype=np.int64)
+    merges = np.flatnonzero(indeg >= 2)
+    num_final = 0
+    if merges.size:
+        # one condensed edge per merge in-edge: anchor(src) -> merge,
+        # weight depth(src) + 1
+        starts = graph._pred_indptr[merges]
+        counts = indeg[merges]
+        total = int(counts.sum())
+        shift = np.cumsum(counts) - counts
+        eids = graph._pred_edges[
+            np.repeat(starts - shift, counts) + np.arange(total, dtype=np.int64)
+        ]
+        src = graph.edge_src[eids]
+        e_anchor = anchor[src]
+        e_weight = depth[src] + 1
+        e_target = np.repeat(merges, counts)
+        # group condensed edges by anchor (CSR) for per-wave gathering
+        a_counts = np.bincount(e_anchor, minlength=n)
+        a_indptr = np.zeros(n + 1, dtype=np.int64)
+        a_indptr[1:] = np.cumsum(a_counts)
+        a_order = np.argsort(e_anchor, kind="stable")
+        w_sorted = e_weight[a_order]
+        t_sorted = e_target[a_order]
+        remaining = np.zeros(n, dtype=np.int64)
+        remaining[merges] = counts
+        wave = np.flatnonzero(indeg == 0)
+        while wave.size:
+            w_starts = a_indptr[wave]
+            w_counts = a_counts[wave]
+            w_total = int(w_counts.sum())
+            if not w_total:
+                break
+            w_shift = np.cumsum(w_counts) - w_counts
+            idx = np.repeat(w_starts - w_shift, w_counts) + np.arange(
+                w_total, dtype=np.int64
+            )
+            tgt = t_sorted[idx]
+            cand = np.repeat(level[wave], w_counts) + w_sorted[idx]
+            np.maximum.at(level, tgt, cand)
+            uniq, dec = np.unique(tgt, return_counts=True)
+            rem = remaining[uniq] - dec
+            remaining[uniq] = rem
+            wave = uniq[rem == 0]
+            num_final += len(wave)
+        if num_final != merges.size:
+            raise GraphValidationError(
+                "graph contains a cycle: only "
+                f"{num_final} of {merges.size} merge points were levelled"
+            )
+
+    # -- 3. full levels + one stable sort ------------------------------------
+    level = level[anchor] + depth
+    order = np.argsort(level, kind="stable")
+    widths = np.bincount(level)
+    indptr = np.zeros(len(widths) + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum(widths)
+    return indptr, order
+
+
 def _build_csr(
     src: np.ndarray, dst: np.ndarray, n: int
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

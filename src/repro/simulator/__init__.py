@@ -1,6 +1,12 @@
 """LogGOPS discrete-event simulation, latency injection and noise models."""
 
-from .columnar import SweepSimulationResult, simulate_level, simulate_sweep
+from .columnar import (
+    GridSimulationResult,
+    SweepSimulationResult,
+    simulate_level,
+    simulate_sweep,
+    simulate_sweep_grid,
+)
 from .injector import (
     INJECTOR_NAMES,
     DelayThreadInjector,
@@ -24,10 +30,12 @@ from .noise import GaussianNoise, NoiseModel, NoNoise, OSJitterNoise
 __all__ = [
     "LogGOPSSimulator",
     "SimulationResult",
+    "GridSimulationResult",
     "SweepSimulationResult",
     "simulate",
     "simulate_level",
     "simulate_sweep",
+    "simulate_sweep_grid",
     "SIM_ENGINES",
     "resolve_sim_engine",
     "LatencyInjector",

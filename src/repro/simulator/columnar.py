@@ -44,7 +44,14 @@ from ..schedgen.graph import EdgeKind, ExecutionGraph, VertexKind
 from .injector import INJECTOR_NAMES, LatencyInjector, group_by_rank
 from .noise import NoiseModel, NoNoise
 
-__all__ = ["SweepSimulationResult", "simulate_level", "simulate_sweep", "get_level_plan"]
+__all__ = [
+    "GridSimulationResult",
+    "SweepSimulationResult",
+    "simulate_level",
+    "simulate_sweep",
+    "simulate_sweep_grid",
+    "get_level_plan",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -65,6 +72,7 @@ class _LevelPlan:
     __slots__ = (
         "order", "vptr", "vcost",
         "e_src_pos", "e_cost", "e_comm", "e_dst_rank", "eptr",
+        "e_pair", "e_bw",
         "seg_starts", "seg_pos", "sptr",
         "comm_idx", "comm_ptr",
         "send_pos", "send_rank", "send_ptr", "send_dup",
@@ -102,6 +110,12 @@ class _LevelPlan:
                 0.0,
             )
             self.e_dst_rank = graph.rank[e_dst].astype(np.int64, copy=False)
+            # per-pair HLogGP support: directed (src, dst) rank pair code and
+            # the bandwidth byte factor of every edge, so a per-pair latency
+            # matrix can be gathered per level without touching the graph
+            e_src_rank = graph.rank[graph.edge_src[eids]].astype(np.int64, copy=False)
+            self.e_pair = e_src_rank * graph.nranks + self.e_dst_rank
+            self.e_bw = np.maximum(graph.size[e_dst] - 1, 0)
             seg_first = np.empty(len(eids), dtype=bool)
             seg_first[0] = True
             np.not_equal(e_dst_pos[1:], e_dst_pos[:-1], out=seg_first[1:])
@@ -114,6 +128,8 @@ class _LevelPlan:
             self.e_comm = np.empty(0, dtype=bool)
             self.e_cost = np.empty(0, dtype=np.float64)
             self.e_dst_rank = np.empty(0, dtype=np.int64)
+            self.e_pair = np.empty(0, dtype=np.int64)
+            self.e_bw = np.empty(0, dtype=np.int64)
             self.seg_starts = np.empty(0, dtype=np.int64)
             self.seg_pos = np.empty(0, dtype=np.int64)
             self.comm_idx = np.empty(0, dtype=np.int64)
@@ -417,35 +433,140 @@ def simulate_sweep(
             params=params, injector=injector,
         )
 
-    K = len(deltas)
-    n = graph.num_vertices
-    if n == 0 or K == 0:
+    grid = simulate_sweep_grid(
+        graph, params, deltas, injectors=(injector,), noise=noise
+    )
+    return grid.sweep(injector)
+
+
+# ---------------------------------------------------------------------------
+# 2-D (injector × ΔL) grid — one traversal for a whole figure
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GridSimulationResult:
+    """Outcome of one 2-D ``(injector × ΔL)`` grid simulation.
+
+    Row ``(i, k)`` is the run of injector ``injectors[i]`` at ``deltas[k]``;
+    every row of the grid is advanced in the *same* level pass, so a whole
+    Fig. 8-style figure costs one graph traversal.  :meth:`sweep` slices one
+    injector back out as a plain :class:`SweepSimulationResult`.
+    """
+
+    injectors: tuple[str, ...]
+    deltas: np.ndarray            # (K,)
+    makespan: np.ndarray          # (I, K)
+    rank_finish: np.ndarray       # (I, K, nranks)
+    params: LogGPSParams
+
+    @property
+    def runtimes(self) -> np.ndarray:
+        """Alias for :attr:`makespan` (microseconds, ``(I, K)``)."""
+        return self.makespan
+
+    def sweep(self, injector: str) -> SweepSimulationResult:
+        """The 1-D ΔL sweep of one injector, as :func:`simulate_sweep` returns it."""
+        i = self.injectors.index(injector)
         return SweepSimulationResult(
-            deltas=deltas,
-            makespan=np.zeros(K, dtype=np.float64),
-            rank_finish=np.zeros((K, graph.nranks), dtype=np.float64),
-            params=params,
+            deltas=self.deltas,
+            makespan=self.makespan[i],
+            rank_finish=self.rank_finish[i],
+            params=self.params,
             injector=injector,
+        )
+
+
+def simulate_sweep_grid(
+    graph: ExecutionGraph,
+    params: LogGPSParams,
+    deltas,
+    *,
+    injectors=("ideal",),
+    noise: NoiseModel | None = None,
+    latency_matrices=None,
+    track_nic: bool = True,
+) -> GridSimulationResult:
+    """Simulate a whole ``(injector × ΔL)`` grid in one level-synchronous pass.
+
+    Per-row equivalent to ``simulate_sweep(graph, params, deltas,
+    injector=name)`` for every ``name`` in ``injectors`` — bit-identical per
+    point — but all ``I × K`` rows advance together: each topological level
+    is one 2-D array pass over the full grid, so Fig. 8 (four injectors over
+    one ΔL axis) costs a single graph traversal instead of four.
+
+    ``latency_matrices`` folds per-pair HLogGP base latencies into the same
+    pass: a ``(nranks, nranks)`` matrix replaces the scalar ``params.L`` of
+    every communication edge (entry ``[src, dst]`` for a ``src → dst``
+    message), and a ``(K, nranks, nranks)`` stack gives sweep point ``k`` its
+    own matrix — which turns the Fig. 11 topology comparison into one
+    traversal with ΔL = 0 and one topology per sweep point.  ``track_nic=
+    False`` drops the per-rank NIC gap resource (forward-pass / LP
+    semantics, as in :func:`simulate_level`).
+    """
+    deltas = np.asarray(list(deltas), dtype=np.float64).ravel()
+    injectors = tuple(injectors)
+    for name in injectors:
+        if name not in INJECTOR_NAMES:
+            raise ValueError(
+                f"unknown injector {name!r}; expected one of {INJECTOR_NAMES}"
+            )
+    if noise is None:
+        noise = NoNoise()
+    I = len(injectors)
+    K = len(deltas)
+    R = I * K
+    n = graph.num_vertices
+    nranks = graph.nranks
+    if latency_matrices is not None:
+        latency_matrices = np.asarray(latency_matrices, dtype=np.float64)
+        if latency_matrices.shape == (nranks, nranks):
+            latency_matrices = np.broadcast_to(
+                latency_matrices, (K, nranks, nranks)
+            )
+        elif latency_matrices.shape != (K, nranks, nranks):
+            raise ValueError(
+                "latency_matrices must have shape (nranks, nranks) or "
+                f"(K, nranks, nranks); got {latency_matrices.shape}"
+            )
+        lat_flat = latency_matrices.reshape(K, nranks * nranks)
+    else:
+        lat_flat = None
+    if n == 0 or R == 0:
+        return GridSimulationResult(
+            injectors=injectors,
+            deltas=deltas,
+            makespan=np.zeros((I, K), dtype=np.float64),
+            rank_finish=np.zeros((I, K, nranks), dtype=np.float64),
+            params=params,
         )
     plan = get_level_plan(graph, params)
 
     # exhaustive per-name dispatch: a new injector name must be wired in
-    # here explicitly, not silently simulated with its delta ignored
-    progress = False
-    if injector in ("ideal", "delay_thread"):
-        wire, send_extra = deltas, np.zeros(K)
-    elif injector == "sender_delay":
-        wire, send_extra = np.zeros(K), deltas
-    elif injector == "receiver_progress":
-        wire, send_extra = np.zeros(K), np.zeros(K)
-        progress = True
-    else:  # pragma: no cover - guarded by the INJECTOR_NAMES check above
-        raise ValueError(f"injector {injector!r} not supported by simulate_sweep")
+    # here explicitly, not silently simulated with its delta ignored.
+    # Row r = i * K + k carries injector i at deltas[k].
+    wire = np.zeros(R, dtype=np.float64)
+    send_extra = np.zeros(R, dtype=np.float64)
+    prog_rows: list[int] = []
+    for i, name in enumerate(injectors):
+        rows = slice(i * K, (i + 1) * K)
+        if name in ("ideal", "delay_thread"):
+            wire[rows] = deltas
+        elif name == "sender_delay":
+            send_extra[rows] = deltas
+        elif name == "receiver_progress":
+            # progress with ΔL = 0 still serialises receives per rank — the
+            # whole row block stays on the progress path, never the wire fold
+            prog_rows.extend(range(i * K, (i + 1) * K))
+        else:  # pragma: no cover - guarded by the INJECTOR_NAMES check above
+            raise ValueError(f"injector {name!r} not supported by simulate_sweep_grid")
     wire_col = wire[:, None]
+    prog = np.asarray(prog_rows, dtype=np.int64)
+    prog_deltas = np.tile(deltas, len(prog) // K) if prog.size else deltas
+    busy = np.zeros((len(prog), nranks), dtype=np.float64)  # progress threads
 
-    end_pos = np.zeros((K, n), dtype=np.float64)
-    nic_free = np.zeros((K, graph.nranks), dtype=np.float64)
-    busy = np.zeros((K, graph.nranks), dtype=np.float64)  # progress threads
+    end_pos = np.zeros((R, n), dtype=np.float64)
+    nic_free = np.zeros((R, nranks), dtype=np.float64)
     o, g = params.o, params.g
     vptr, eptr, sptr = plan.vptr, plan.eptr, plan.sptr
     noise_active = not isinstance(noise, NoNoise)
@@ -456,21 +577,33 @@ def simulate_sweep(
         e0, e1 = eptr[k], eptr[k + 1]
         width = p1 - p0
         if e1 > e0:
-            # wire delay folded per sweep point, one level slice at a time
-            # (never the dense (K, num_edges) matrix)
+            # wire delay folded per grid row, one level slice at a time
+            # (never the dense (R, num_edges) matrix)
+            if lat_flat is None:
+                e_cost = plan.e_cost[e0:e1]
+            else:
+                # gather the per-pair base latency of the level's comm edges
+                # for every sweep point, tiled across the injector axis; the
+                # float expression (L + bw * G) matches the scalar plan
+                comm = plan.e_comm[e0:e1]
+                pair_lat = lat_flat[:, plan.e_pair[e0:e1]]
+                e_cost = np.where(
+                    comm, pair_lat + plan.e_bw[e0:e1] * params.G, 0.0
+                )
+                e_cost = np.tile(e_cost, (I, 1))
             contrib = (
                 end_pos[:, plan.e_src_pos[e0:e1]]
-                + plan.e_cost[e0:e1]
+                + e_cost
                 + wire_col * plan.e_comm[e0:e1]
             )
-            if progress:
+            if prog.size:
                 c0, c1 = plan.comm_ptr[k], plan.comm_ptr[k + 1]
                 if c1 > c0:
                     idx = plan.comm_idx[c0:c1]
                     rel = idx - e0
                     ranks = plan.e_dst_rank[idx]
-                    contrib[:, rel] = _progress_release(
-                        contrib[:, rel], ranks, busy, deltas
+                    contrib[np.ix_(prog, rel)] = _progress_release(
+                        contrib[np.ix_(prog, rel)], ranks, busy, prog_deltas
                     )
             s0, s1 = sptr[k], sptr[k + 1]
             seg_ready = np.maximum.reduceat(
@@ -479,10 +612,10 @@ def simulate_sweep(
             if s1 - s0 == width:
                 ready = seg_ready
             else:
-                ready = np.zeros((K, width), dtype=np.float64)
+                ready = np.zeros((R, width), dtype=np.float64)
                 ready[:, plan.seg_pos[s0:s1] - p0] = seg_ready
         else:
-            ready = np.zeros((K, width), dtype=np.float64)
+            ready = np.zeros((R, width), dtype=np.float64)
 
         end_lvl = ready + plan.vcost[None, p0:p1]
         if noise_active:
@@ -490,8 +623,8 @@ def simulate_sweep(
             if c1 > c0:
                 rel = plan.calc_pos[c0:c1] - p0
                 # the noise draw depends only on the durations, which are
-                # identical across sweep points (each per-point run re-seeds),
-                # so one draw per level serves every ΔL column
+                # identical across grid rows (each per-point run re-seeds),
+                # so one draw per level serves every row
                 perturbed = _perturb_many(noise, plan.calc_cost[c0:c1])
                 end_lvl[:, rel] = ready[:, rel] + perturbed[None, :]
 
@@ -499,7 +632,9 @@ def simulate_sweep(
         if s1 > s0:
             rel = plan.send_pos[s0:s1] - p0
             ranks = plan.send_rank[s0:s1]
-            if plan.send_dup[k]:
+            if not track_nic:
+                st = ready[:, rel]
+            elif plan.send_dup[k]:
                 st = _grouped_send_starts(ready[:, rel], ranks, nic_free, g)
             else:
                 st = np.maximum(ready[:, rel], nic_free[:, ranks])
@@ -508,13 +643,16 @@ def simulate_sweep(
         end_pos[:, p0:p1] = end_lvl
 
     makespans = end_pos.max(axis=1)
-    rank_finish = np.zeros((K, graph.nranks), dtype=np.float64)
+    rank_finish = np.zeros((R, nranks), dtype=np.float64)
     rank_o = graph.rank[plan.order]
-    for i in range(K):
-        np.maximum.at(rank_finish[i], rank_o, end_pos[i])
-    return SweepSimulationResult(
-        deltas=deltas, makespan=makespans, rank_finish=rank_finish,
-        params=params, injector=injector,
+    for r in range(R):
+        np.maximum.at(rank_finish[r], rank_o, end_pos[r])
+    return GridSimulationResult(
+        injectors=injectors,
+        deltas=deltas,
+        makespan=makespans.reshape(I, K),
+        rank_finish=rank_finish.reshape(I, K, nranks),
+        params=params,
     )
 
 

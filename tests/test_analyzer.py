@@ -155,3 +155,63 @@ class TestCriticalLatenciesAndSummary:
             analyzer.bandwidth_sensitivity()
         gap_analyzer = LatencyAnalyzer(small_app_graph, PARAMS, gap_symbolic=True)
         assert gap_analyzer.bandwidth_sensitivity() >= 0.0
+
+
+class TestFusedEngine:
+    """Analyzers built from batch specs (the analyze-only fused pipeline)."""
+
+    @staticmethod
+    def _program():
+        def app(comm):
+            for it in range(3):
+                comm.compute(100.0)
+                nxt = (comm.rank + 1) % comm.size
+                prv = (comm.rank - 1) % comm.size
+                req = comm.irecv(prv, 256, tag=it)
+                comm.send(nxt, 256, tag=it)
+                comm.wait(req)
+                comm.allreduce(64)
+
+        return run_program(app, 4)
+
+    def test_from_program_matches_frozen_graph_analyzer(self):
+        from repro.schedgen.builder import ProtocolConfig
+
+        program = self._program()
+        frozen = LatencyAnalyzer(
+            build_graph(program, protocol=ProtocolConfig.from_params(PARAMS)), PARAMS
+        )
+        fused = LatencyAnalyzer.from_program(program, PARAMS, lp_engine="fused")
+        assert fused.baseline_runtime() == pytest.approx(frozen.baseline_runtime())
+        assert fused.latency_sensitivity(5.0) == pytest.approx(
+            frozen.latency_sensitivity(5.0)
+        )
+        summary_fused, summary_frozen = fused.summary(), frozen.summary()
+        assert summary_fused.keys() == summary_frozen.keys()
+        for key, value in summary_frozen.items():
+            assert summary_fused[key] == pytest.approx(value), key
+
+    def test_from_batches_matches_from_program(self):
+        from repro.schedgen.columnar import batches_from_program
+
+        program = self._program()
+        via_program = LatencyAnalyzer.from_program(program, PARAMS)
+        via_batches = LatencyAnalyzer.from_batches(
+            batches_from_program(program), program.nranks, PARAMS
+        )
+        assert via_batches.baseline_runtime() == pytest.approx(
+            via_program.baseline_runtime()
+        )
+
+    def test_materialised_graph_shares_frozen_digest(self):
+        from repro.schedgen.builder import ProtocolConfig
+
+        program = self._program()
+        fused = LatencyAnalyzer.from_program(program, PARAMS)
+        frozen = build_graph(program, protocol=ProtocolConfig.from_params(PARAMS))
+        assert fused.graph.content_digest() == frozen.content_digest()
+
+    def test_unknown_lp_engine_rejected(self):
+        analyzer = LatencyAnalyzer.from_program(self._program(), PARAMS, lp_engine="warp")
+        with pytest.raises(ValueError, match="engine"):
+            analyzer.baseline_runtime()

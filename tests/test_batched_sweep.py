@@ -167,6 +167,28 @@ class TestBatchedSweepGraphs:
             )
 
 
+    def test_schedule_batches_spec_accepted_serially(self):
+        from repro.mpi import run_program
+        from repro.schedgen import build_graph
+        from repro.schedgen.builder import ProtocolConfig
+        from repro.schedgen.columnar import ScheduleBatches
+
+        def app(comm):
+            for _ in range(2):
+                comm.compute(5.0)
+                comm.allreduce(1024)
+
+        program = run_program(app, 4)
+        params = LogGPSParams(L=1.0, o=0.5, g=0.0, G=0.001)
+        graph = build_graph(program, protocol=ProtocolConfig.from_params(params))
+        spec = ScheduleBatches.from_program(program)
+        env_graph, env_spec = batched_sweep_graphs(
+            [graph, spec], params, l_min=0.0, l_max=50.0
+        )
+        Ls = np.linspace(0.0, 50.0, 20)
+        np.testing.assert_allclose(env_spec.sample(Ls), env_graph.sample(Ls), atol=1e-12)
+
+
 class TestAnalyzerIntegration:
     def test_batched_engine_matches_lp_engine(self, running_example, paper_params):
         deltas = np.linspace(0.0, 2.0, 25)

@@ -227,3 +227,95 @@ class TestEngineSelection:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError):
             build_lp(build_running_example(), PARAMS, engine="weird")
+
+
+class TestCompileFromBatches:
+    """``compile_lp_from_batches``: op batches → CSR with no frozen graph."""
+
+    @staticmethod
+    def _workload():
+        from repro.mpi import run_program
+        from repro.schedgen.columnar import batches_from_program
+
+        def app(comm):
+            for it in range(3):
+                comm.compute(1.0)
+                comm.allreduce(2048)
+                nxt = (comm.rank + 1) % comm.size
+                prv = (comm.rank - 1) % comm.size
+                req = comm.irecv(prv, 256, tag=it)
+                comm.send(nxt, 256, tag=it)
+                comm.wait(req)
+
+        program = run_program(app, 4)
+        return batches_from_program(program), program.nranks
+
+    @pytest.mark.parametrize("lm,gm", [("global", "constant"), ("per_pair", "per_pair")])
+    def test_bit_identical_to_freeze_then_compile(self, lm, gm):
+        from repro.lp.compiler import compile_lp, compile_lp_from_batches
+        from repro.schedgen.builder import ProtocolConfig
+        from repro.schedgen.collectives import CollectiveAlgorithms
+        from repro.schedgen.columnar import build_columnar
+
+        batches, nranks = self._workload()
+        algorithms = CollectiveAlgorithms()
+        protocol = ProtocolConfig.from_params(PARAMS)
+        frozen_graph = build_columnar(
+            batches, nranks, algorithms=algorithms, protocol=protocol
+        )
+        frozen = compile_lp(frozen_graph, PARAMS, latency_mode=lm, gap_mode=gm)
+        fused = compile_lp_from_batches(
+            batches, nranks, PARAMS, latency_mode=lm, gap_mode=gm,
+            algorithms=algorithms, protocol=protocol,
+        )
+        a, b = frozen.model.to_arrays(), fused.model.to_arrays()
+        assert a.keys() == b.keys()
+        for key in a:
+            if isinstance(a[key], np.ndarray):
+                np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+            else:
+                assert a[key] == b[key], key
+        f_sol = frozen.model.solve(backend="highs")
+        g_sol = fused.model.solve(backend="highs")
+        assert g_sol.objective == f_sol.objective
+        np.testing.assert_array_equal(g_sol.duals, f_sol.duals)
+
+    def test_analyze_only_graph_attached(self):
+        from repro.lp.compiler import compile_lp_from_batches
+        from repro.schedgen import build_graph
+        from repro.mpi import run_program
+
+        def app(comm):
+            comm.compute(1.0)
+            comm.allreduce(512)
+
+        program = run_program(app, 4)
+        from repro.schedgen.columnar import batches_from_program
+
+        compiled = compile_lp_from_batches(
+            batches_from_program(program), program.nranks, PARAMS
+        )
+        assert compiled.graph is not None
+        # digest parity keys fused requests to the frozen cache entries
+        from repro.schedgen.builder import ProtocolConfig
+
+        frozen = build_graph(program, protocol=ProtocolConfig.from_params(PARAMS))
+        assert compiled.graph.content_digest() == frozen.content_digest()
+
+    def test_defaults_match_explicit_config(self):
+        from repro.lp.compiler import compile_lp_from_batches
+        from repro.schedgen.builder import ProtocolConfig
+        from repro.schedgen.collectives import CollectiveAlgorithms
+
+        batches, nranks = self._workload()
+        bare = compile_lp_from_batches(batches, nranks, PARAMS)
+        explicit = compile_lp_from_batches(
+            batches, nranks, PARAMS,
+            algorithms=CollectiveAlgorithms(),
+            protocol=ProtocolConfig.from_params(PARAMS),
+        )
+        assert bare.graph.content_digest() == explicit.graph.content_digest()
+        assert (
+            bare.model.solve(backend="highs").objective
+            == explicit.model.solve(backend="highs").objective
+        )

@@ -410,3 +410,157 @@ class TestGoalColumnarIngestion:
 
         with pytest.raises(GoalFormatError, match="not closed"):
             loads_goal("num_ranks 2\n\nrank 0 {\n  l1: calc 100\nrank 1 {\n}\n")
+
+
+class TestFusedBuild:
+    """The analyze-only fused path vs freeze-then-validate.
+
+    ``build_columnar_fused`` must attach a graph whose identity columns,
+    labels, level structure and content digest are bit-identical to the
+    frozen ones, with the levels coming from the chain-condensed engine
+    instead of the frontier peel.
+    """
+
+    @staticmethod
+    def _program(nranks=4):
+        def app(comm):
+            for it in range(3):
+                chain = 40 if comm.rank == 0 else 2
+                for _ in range(chain):
+                    comm.compute(0.5)
+                comm.allreduce(4096)
+                nxt = (comm.rank + 1) % comm.size
+                prv = (comm.rank - 1) % comm.size
+                req = comm.irecv(prv, 128, tag=it)
+                comm.send(nxt, 128, tag=it)
+                comm.wait(req)
+
+        return run_program(app, nranks)
+
+    @staticmethod
+    def _pair(program):
+        from repro.schedgen.columnar import (
+            batches_from_program,
+            build_columnar,
+            build_columnar_fused,
+        )
+
+        algorithms = CollectiveAlgorithms()
+        protocol = ProtocolConfig.from_params(PARAMS)
+        batches = batches_from_program(program)
+        frozen = build_columnar(
+            batches, program.nranks, algorithms=algorithms, protocol=protocol
+        )
+        fused = build_columnar_fused(
+            batches, program.nranks, algorithms=algorithms, protocol=protocol
+        )
+        return frozen, fused
+
+    def test_columns_and_digest_bit_identical(self):
+        frozen, fused = self._pair(self._program())
+        assert_identical(frozen, fused)
+        assert fused.content_digest() == frozen.content_digest()
+
+    def test_condensed_levels_match_frontier_peel(self):
+        frozen, fused = self._pair(self._program())
+        indptr, order = frozen.topo_levels()
+        f_indptr, f_order = fused.topo_levels()
+        assert np.array_equal(indptr, f_indptr)
+        assert np.array_equal(order, f_order)
+
+    def test_chain_condensed_levels_on_random_programs(self):
+        from repro.schedgen.graph import chain_condensed_levels
+
+        for seed in range(8):
+            graph = build_graph(build_random_program(seed, nranks=4))
+            indptr, order = graph.topo_levels()
+            c_indptr, c_order = chain_condensed_levels(graph)
+            assert np.array_equal(indptr, c_indptr), seed
+            assert np.array_equal(order, c_order), seed
+
+    def test_chain_condensed_levels_on_deep_contiguous_chain(self):
+        # the run-collapse seed's home turf: one rank-0 chain of contiguous
+        # vertex ids, everyone else nearly idle, levels ≈ vertices
+        from repro.schedgen.graph import chain_condensed_levels
+
+        def app(comm):
+            for _ in range(2):
+                chain = 500 if comm.rank == 0 else 1
+                for _ in range(chain):
+                    comm.compute(0.5)
+                comm.allreduce(64)
+
+        graph = build_graph(run_program(app, 4))
+        indptr, order = graph.topo_levels()
+        c_indptr, c_order = chain_condensed_levels(graph)
+        assert np.array_equal(indptr, c_indptr)
+        assert np.array_equal(order, c_order)
+
+    def test_chain_condensed_levels_detect_merge_cycle(self):
+        # the condensed engine is no general cycle detector, but a cycle
+        # through merge points must still surface as an undrained wave
+        from repro.schedgen import GraphValidationError
+        from repro.schedgen.graph import (
+            ExecutionGraph,
+            VertexKind,
+            EdgeKind,
+            chain_condensed_levels,
+        )
+
+        n = 3
+        columns = {
+            "kind": np.full(n, int(VertexKind.CALC), dtype=np.int8),
+            "rank": np.zeros(n, dtype=np.int32),
+            "cost": np.ones(n, dtype=np.float64),
+            "size": np.zeros(n, dtype=np.int64),
+            "peer": np.full(n, -1, dtype=np.int32),
+            "tag": np.zeros(n, dtype=np.int64),
+            # 0 and 1 are mutual merge points (in-degree 2), fed by source 2
+            "edge_src": np.array([2, 1, 2, 0], dtype=np.int64),
+            "edge_dst": np.array([0, 0, 1, 1], dtype=np.int64),
+            "edge_kind": np.full(4, int(EdgeKind.DEP), dtype=np.int8),
+        }
+        graph = ExecutionGraph.from_columns(1, columns, validate=False)
+        with pytest.raises(GraphValidationError, match="cycle"):
+            chain_condensed_levels(graph)
+
+
+class TestScheduleBatches:
+    def test_graph_cached_per_protocol(self):
+        from repro.schedgen.columnar import ScheduleBatches
+
+        program = TestFusedBuild._program()
+        spec = ScheduleBatches.from_program(program)
+        first = spec.graph_for(PARAMS)
+        assert spec.graph_for(PARAMS) is first
+        # a different eager threshold is a different protocol: fresh graph
+        other = LogGPSParams(L=1.0, o=0.5, g=0.0, G=0.001, S=64)
+        assert spec.graph_for(other) is not first
+
+    def test_digest_equals_frozen_graph(self):
+        from repro.schedgen.columnar import ScheduleBatches
+
+        program = TestFusedBuild._program()
+        frozen, _ = TestFusedBuild._pair(program)
+        spec = ScheduleBatches.from_program(program)
+        assert spec.content_digest(PARAMS) == frozen.content_digest()
+
+    def test_explicit_protocol_wins(self):
+        from repro.schedgen.columnar import ScheduleBatches
+
+        protocol = ProtocolConfig(eager_threshold=64, expand_rendezvous=True)
+        program = TestFusedBuild._program()
+        spec = ScheduleBatches.from_program(program, protocol=protocol)
+        assert spec.resolve_protocol(PARAMS) is protocol
+        # the 128-byte ring messages go rendezvous under the 64-byte
+        # threshold, so this schedule differs from the eager one
+        eager = ScheduleBatches.from_program(program)
+        assert spec.content_digest(PARAMS) != eager.content_digest(PARAMS)
+
+    def test_mismatched_batch_count_rejected(self):
+        from repro.schedgen.columnar import ScheduleBatches, batches_from_program
+
+        program = TestFusedBuild._program()
+        spec = ScheduleBatches(batches_from_program(program), nranks=7)
+        with pytest.raises(ValueError, match="batches"):
+            spec.graph_for(PARAMS)

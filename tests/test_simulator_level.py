@@ -364,3 +364,110 @@ def test_level_engine_forward_pass_equals_lp_optimum(seed, L, o):
     level = simulate(graph, params, sim_engine="level")
     legacy = simulate(graph, params, sim_engine="legacy")
     np.testing.assert_allclose(level.end, legacy.end, atol=1e-9)
+
+
+class TestSweepGrid:
+    """The 2-D ``(injector × ΔL)`` grid vs the per-injector sweep loop."""
+
+    DELTAS = np.array([0.0, 3.0, 11.0, 40.0])
+
+    @staticmethod
+    def _graph(nranks=4):
+        def app(comm):
+            for it in range(3):
+                comm.compute(20.0)
+                nxt = (comm.rank + 1) % comm.size
+                prv = (comm.rank - 1) % comm.size
+                req = comm.irecv(prv, 512, tag=it)
+                comm.send(nxt, 512, tag=it)
+                comm.wait(req)
+                comm.allreduce(256)
+
+        return build_graph(run_program(app, nranks))
+
+    def test_rows_match_per_injector_sweeps(self):
+        from repro.simulator import simulate_sweep_grid
+
+        graph = self._graph()
+        grid = simulate_sweep_grid(
+            graph, PARAMS, self.DELTAS, injectors=INJECTOR_NAMES
+        )
+        for i, name in enumerate(INJECTOR_NAMES):
+            sweep = simulate_sweep(graph, PARAMS, self.DELTAS, injector=name)
+            np.testing.assert_array_equal(grid.makespan[i], sweep.makespan, err_msg=name)
+            np.testing.assert_array_equal(
+                grid.rank_finish[i], sweep.rank_finish, err_msg=name
+            )
+
+    def test_sweep_slice_round_trips(self):
+        from repro.simulator import simulate_sweep_grid
+
+        graph = self._graph()
+        grid = simulate_sweep_grid(
+            graph, PARAMS, self.DELTAS, injectors=("ideal", "sender_delay")
+        )
+        sweep = grid.sweep("sender_delay")
+        assert sweep.injector == "sender_delay"
+        np.testing.assert_array_equal(sweep.deltas, self.DELTAS)
+        np.testing.assert_array_equal(sweep.makespan, grid.makespan[1])
+
+    def test_uniform_latency_matrix_matches_scalar_latency(self):
+        from repro.simulator import simulate_sweep_grid
+
+        graph = self._graph()
+        matrix = np.full((graph.nranks, graph.nranks), PARAMS.L)
+        scalar = simulate_sweep_grid(graph, PARAMS, self.DELTAS)
+        matrixed = simulate_sweep_grid(
+            graph, PARAMS, self.DELTAS, latency_matrices=matrix
+        )
+        np.testing.assert_allclose(matrixed.makespan, scalar.makespan, atol=1e-9)
+        np.testing.assert_allclose(matrixed.rank_finish, scalar.rank_finish, atol=1e-9)
+
+    def test_per_point_matrices_equal_wire_deltas(self):
+        # point k simulated under base latency L + DELTAS[k] must equal the
+        # ideal injector sweeping DELTAS over the scalar L
+        from repro.simulator import simulate_sweep_grid
+
+        graph = self._graph()
+        P = graph.nranks
+        stack = np.stack(
+            [np.full((P, P), PARAMS.L + d) for d in self.DELTAS]
+        )
+        per_point = simulate_sweep_grid(
+            graph, PARAMS, np.zeros(len(self.DELTAS)), latency_matrices=stack
+        )
+        swept = simulate_sweep_grid(graph, PARAMS, self.DELTAS)
+        np.testing.assert_allclose(per_point.makespan, swept.makespan, atol=1e-9)
+
+    def test_track_nic_false_matches_forward_pass(self):
+        from repro.simulator import simulate_sweep_grid
+
+        graph = self._graph()
+        grid = simulate_sweep_grid(
+            graph, PARAMS, [0.0], injectors=("ideal",), track_nic=False
+        )
+        completion = forward_pass(graph, PARAMS)
+        assert grid.makespan[0, 0] == pytest.approx(float(completion.max()), abs=1e-9)
+
+    def test_unknown_injector_rejected(self):
+        from repro.simulator import simulate_sweep_grid
+
+        with pytest.raises(ValueError, match="injector"):
+            simulate_sweep_grid(self._graph(), PARAMS, [0.0], injectors=("warp",))
+
+    def test_bad_matrix_shape_rejected(self):
+        from repro.simulator import simulate_sweep_grid
+
+        graph = self._graph()
+        with pytest.raises(ValueError, match="latency_matrices"):
+            simulate_sweep_grid(
+                graph, PARAMS, [0.0, 1.0], latency_matrices=np.zeros((2, 3))
+            )
+
+    def test_empty_grid_shapes(self):
+        from repro.simulator import simulate_sweep_grid
+
+        graph = self._graph()
+        grid = simulate_sweep_grid(graph, PARAMS, [], injectors=INJECTOR_NAMES)
+        assert grid.makespan.shape == (len(INJECTOR_NAMES), 0)
+        assert grid.rank_finish.shape == (len(INJECTOR_NAMES), 0, graph.nranks)
