@@ -17,6 +17,32 @@ import json
 import os
 
 
+def peak_rss_mb() -> float | None:
+    """Peak resident-set size of this process so far, in MiB.
+
+    Prefers ``VmHWM`` from ``/proc/self/status`` (Linux high-water mark),
+    falling back to ``resource.getrusage`` (``ru_maxrss`` is KiB on Linux,
+    bytes on macOS).  Returns ``None`` when neither source is available so
+    records stay portable.
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return float(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    try:
+        import resource
+        import sys
+
+        ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+        return float(ru_maxrss) / divisor
+    except (ImportError, OSError, ValueError):
+        return None
+
+
 def print_header(title: str) -> None:
     print()
     print("=" * 78)
@@ -60,13 +86,16 @@ def emit_json(name: str, payload) -> str:
 
     ``payload`` is any JSON-serialisable structure (NumPy scalars and arrays
     are coerced); ``$BENCH_OUTPUT_DIR`` overrides the output directory.
+    Every record also carries ``peak_rss_mb`` — the process peak RSS at emit
+    time — as a top-level sibling of ``results`` so the summary collector
+    can build a memory column without touching benchmark payloads.
     """
     out_dir = os.environ.get("BENCH_OUTPUT_DIR", ".")
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"BENCH_{name}.json")
+    record = {"bench": name, "peak_rss_mb": peak_rss_mb(), "results": payload}
     with open(path, "w") as fh:
-        json.dump({"bench": name, "results": payload}, fh, indent=2,
-                  default=_json_default)
+        json.dump(record, fh, indent=2, default=_json_default)
         fh.write("\n")
     print(f"[bench] wrote {path}")
     return path

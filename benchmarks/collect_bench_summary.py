@@ -84,6 +84,7 @@ def collect(out_dir: str | Path | None = None) -> Path:
             "file": path.name,
             "name": record.get("bench", path.stem.removeprefix("BENCH_")),
             "headline_speedup": _headline_speedup(record.get("results")),
+            "peak_rss_mb": record.get("peak_rss_mb"),
         })
 
     summary_path = out_dir / SUMMARY_NAME

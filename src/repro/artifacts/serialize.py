@@ -24,6 +24,7 @@ first built, and the formats store the already-frozen canonical columns.
 from __future__ import annotations
 
 import io
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -60,6 +61,59 @@ def _save_npz(path: str | Path, arrays: dict[str, np.ndarray | int | float | str
     np.savez(buffer, **arrays)
     path.write_bytes(buffer.getvalue())
     return path
+
+
+def _mmap_npz_members(path: Path, names: list[str]) -> dict[str, np.ndarray]:
+    """Map selected ``.npy`` members of an uncompressed npz straight from disk.
+
+    ``np.load`` silently ignores ``mmap_mode`` for npz archives, so zero-copy
+    loads need the member offsets resolved by hand: ``np.savez`` stores
+    members with ``ZIP_STORED`` (no compression), which means each member's
+    npy stream sits contiguously in the file and an ``np.memmap`` with the
+    right offset aliases it directly — no read, no copy, and **no retained
+    file descriptor** (the mapping outlives the fd, which NumPy closes once
+    the pages are mapped).
+
+    The data offset comes from the member's *local* zip header — its name
+    and extra-field lengths can legally differ from the central directory's,
+    so the 30-byte local header is re-read rather than trusted from
+    ``ZipInfo``.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as fh:
+        for name in names:
+            info = archive.getinfo(f"{name}.npy")
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ArtifactFormatError(
+                    f"{path}: member {name!r} is compressed; cannot memory-map"
+                )
+            fh.seek(info.header_offset)
+            local = fh.read(30)
+            if local[:4] != b"PK\x03\x04":
+                raise ArtifactFormatError(
+                    f"{path}: corrupt local header for member {name!r}"
+                )
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            fh.seek(info.header_offset + 30 + name_len + extra_len)
+            version = np.lib.format.read_magic(fh)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+            else:  # pragma: no cover - savez never writes 3.0 for these dtypes
+                raise ArtifactFormatError(
+                    f"{path}: member {name!r} has unsupported npy version {version}"
+                )
+            if dtype.hasobject:  # pragma: no cover - formats are pure arrays
+                raise ArtifactFormatError(
+                    f"{path}: member {name!r} holds objects; cannot memory-map"
+                )
+            arrays[name] = np.memmap(
+                path, dtype=dtype, mode="r", offset=fh.tell(), shape=shape,
+                order="F" if fortran else "C",
+            )
+    return arrays
 
 
 def _check_kind(archive: np.lib.npyio.NpzFile, path: Path, expected: str) -> None:
@@ -110,33 +164,55 @@ def save_graph(graph: ExecutionGraph, path: str | Path) -> Path:
     return _save_npz(path, arrays)
 
 
-def load_graph(path: str | Path) -> ExecutionGraph:
+def load_graph(path: str | Path, *, mmap_mode: str | None = None) -> ExecutionGraph:
     """Reconstruct an :class:`ExecutionGraph` written by :func:`save_graph`.
 
     No validation runs (the graph was validated before it was frozen and
     saved); the CSR adjacency is rebuilt deterministically from the edge
     columns, and a stored level structure is re-attached to the cached-view
     slots so e.g. :meth:`~ExecutionGraph.topological_order` is free.
+
+    With ``mmap_mode="r"`` the identity columns (and any stored level
+    structure) are attached **zero-copy** as read-only memory maps over the
+    archive file (see :func:`_mmap_npz_members`): loading a multi-gigabyte
+    graph touches only the pages a consumer actually reads, and no file
+    descriptor stays open.  Small metadata (labels, ``nranks``) is still
+    read eagerly.  The column bytes — and therefore
+    :meth:`~ExecutionGraph.content_digest` — are identical either way.
     """
+    if mmap_mode not in (None, "r"):
+        raise ValueError(f"mmap_mode must be None or 'r', got {mmap_mode!r}")
     path = Path(path)
     with np.load(path, allow_pickle=False) as archive:
         _check_kind(archive, path, "graph")
-        columns = {
-            name: archive[name].copy() for name, _ in ExecutionGraph.CONTENT_COLUMNS
-        }
+        nranks = int(archive["nranks"][()])
         labels = {
             int(vid): str(text)
             for vid, text in zip(archive["label_vids"], archive["label_text"])
         }
         has_levels = "topo_order" in archive.files and "level_indptr" in archive.files
-        graph = ExecutionGraph.from_columns(
-            int(archive["nranks"][()]),
-            columns,
-            labels=labels,
-            topo_order=archive["topo_order"].copy() if has_levels else None,
-            level_indptr=archive["level_indptr"].copy() if has_levels else None,
-        )
-    return graph
+        if mmap_mode is None:
+            columns = {
+                name: archive[name].copy()
+                for name, _ in ExecutionGraph.CONTENT_COLUMNS
+            }
+            topo_order = archive["topo_order"].copy() if has_levels else None
+            level_indptr = archive["level_indptr"].copy() if has_levels else None
+    if mmap_mode == "r":
+        wanted = [name for name, _ in ExecutionGraph.CONTENT_COLUMNS]
+        if has_levels:
+            wanted += ["topo_order", "level_indptr"]
+        mapped = _mmap_npz_members(path, wanted)
+        columns = {name: mapped[name] for name, _ in ExecutionGraph.CONTENT_COLUMNS}
+        topo_order = mapped["topo_order"] if has_levels else None
+        level_indptr = mapped["level_indptr"] if has_levels else None
+    return ExecutionGraph.from_columns(
+        nranks,
+        columns,
+        labels=labels,
+        topo_order=topo_order,
+        level_indptr=level_indptr,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -118,9 +118,16 @@ class ArtifactStore:
         "envelope": load_envelope,
     }
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self, root: str | Path, *, graph_mmap_mode: str | None = None
+    ) -> None:
+        if graph_mmap_mode not in (None, "r"):
+            raise ValueError(
+                f"graph_mmap_mode must be None or 'r', got {graph_mmap_mode!r}"
+            )
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.graph_mmap_mode = graph_mmap_mode
         self.hits: dict[str, int] = {kind: 0 for kind in self.KINDS}
         self.misses: dict[str, int] = {kind: 0 for kind in self.KINDS}
 
@@ -166,6 +173,11 @@ class ArtifactStore:
         if not path.exists():
             return None
         try:
+            if kind == "graph" and self.graph_mmap_mode is not None:
+                # zero-copy columns over the stored archive; every load is
+                # context-managed or fd-free, so a long-lived fleet pool
+                # serving thousands of gets never accumulates descriptors
+                return self._LOADERS[kind](path, mmap_mode=self.graph_mmap_mode)
             return self._LOADERS[kind](path)
         except Exception:
             path.unlink(missing_ok=True)

@@ -26,7 +26,12 @@ Small front end over the library for the most common workflows:
     expand an (app × ranks × algorithm × latency × injector) scenario grid
     and run it across the zero-copy shared-memory worker pool
     (:mod:`repro.parallel`), writing per-app shards plus one deterministic
-    merged summary.
+    merged summary;
+``llamp ingest``
+    stream an on-disk trace or GOAL file through the chunked out-of-core
+    readers (:mod:`repro.schedgen.streaming`) and run the LP analysis —
+    peak memory stays O(chunk + columns) instead of O(file), with the
+    columns optionally spilled to disk-backed buffers (``--mmap-dir``).
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ from .network.params import CSCS_TESTBED, LogGPSParams
 from .schedgen.builder import build_graph
 from .schedgen.collectives import CollectiveAlgorithms
 from .schedgen.goal import dump_goal
+from .schedgen.streaming import DEFAULT_CHUNK_RECORDS
 from .trace.format import dump_trace
 
 __all__ = ["main", "build_parser"]
@@ -235,6 +241,35 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--backend", default="auto",
                        help="LP backend name from the registry (default: %(default)s)")
     fleet.add_argument("--json", action="store_true", help="print machine-readable JSON")
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream a trace or GOAL file and analyze it out-of-core",
+        description="Parse an on-disk trace or GOAL schedule through the "
+                    "chunked streaming readers — fixed-size record blocks "
+                    "straight into columnar batches (traces) or the graph "
+                    "builder (GOAL), bit-identical to the monolithic "
+                    "loaders — and run the LP latency analysis. With a "
+                    "--mmap-dir the accumulated columns are disk-backed, "
+                    "so peak memory is bounded by the chunk size plus the "
+                    "LP working set, not the input size.",
+    )
+    ingest.add_argument("format", choices=("trace", "goal"),
+                        help="input file format")
+    ingest.add_argument("input", help="trace (# llamp-trace v1) or GOAL file")
+    ingest.add_argument("--chunk-size", default="auto",
+                        help="records per parse block: 'auto' "
+                             f"({DEFAULT_CHUNK_RECORDS}) or a positive integer")
+    ingest.add_argument("--mmap-dir", default="auto",
+                        help="where the ingested columns live: 'auto' "
+                             "(temporary directory, removed after the "
+                             "analysis), 'none' (keep everything in RAM), "
+                             "or an existing directory (default: %(default)s)")
+    ingest.add_argument("--min-compute", type=float, default=0.0,
+                        help="smallest inter-call gap (µs) turned into a "
+                             "compute vertex (trace format only)")
+    ingest.add_argument("--json", action="store_true",
+                        help="print machine-readable JSON")
 
     return parser
 
@@ -546,6 +581,82 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import shutil
+    import tempfile
+
+    from .schedgen.streaming import (
+        batches_from_trace_chunked,
+        load_goal_chunked,
+        resolve_chunk_size,
+    )
+
+    try:
+        resolve_chunk_size(args.chunk_size)
+    except ValueError as error:
+        raise SystemExit(f"--chunk-size: {error}") from None
+    params = _params_from_args(args)
+    work_dir: str | None
+    cleanup: str | None = None
+    if args.mmap_dir == "auto":
+        work_dir = cleanup = tempfile.mkdtemp(prefix="llamp-ingest-")
+    elif args.mmap_dir == "none":
+        work_dir = None
+    else:
+        work_dir = args.mmap_dir
+
+    try:
+        if args.format == "trace":
+            batches = batches_from_trace_chunked(
+                args.input,
+                min_compute=args.min_compute,
+                chunk_size=args.chunk_size,
+                spill_dir=work_dir,
+            )
+            analyzer = LatencyAnalyzer.from_batches(
+                batches, batches.nranks, params, lp_engine=args.lp_engine
+            )
+            nranks = batches.nranks
+            ingested = {"records": batches.num_rows, "spilled": batches.spilled}
+        else:
+            graph = load_goal_chunked(
+                args.input, chunk_size=args.chunk_size, mmap_dir=work_dir
+            )
+            analyzer = LatencyAnalyzer(graph, params, lp_engine=args.lp_engine)
+            nranks = graph.nranks
+            ingested = {
+                "vertices": graph.num_events,
+                "edges": graph.num_edges,
+                "spilled": work_dir is not None,
+            }
+        summary = analyzer.summary()
+        if args.json:
+            print(json.dumps({
+                "input": args.input,
+                "format": args.format,
+                "nranks": nranks,
+                "ingested": ingested,
+                **summary,
+            }, indent=2))
+            return 0
+        spilled = "disk-backed" if ingested["spilled"] else "in-RAM"
+        detail = (f"{ingested['records']} op rows" if args.format == "trace"
+                  else f"{ingested['vertices']} vertices / {ingested['edges']} edges")
+        print(f"ingested           : {args.input} ({args.format}, {nranks} ranks, "
+              f"{detail}, {spilled} columns)")
+        print(f"predicted runtime  : {summary['runtime_us'] / 1e6:.4f} s")
+        print(f"lambda_L           : {summary['lambda_L']:.1f} messages on the critical path")
+        print(f"rho_L              : {summary['rho_L'] * 100:.2f} % of the critical path is latency")
+        for level in (1, 2, 5):
+            key = f"tolerance_{level}pct_us"
+            print(f"{level}% latency tolerance : {summary[key]:.1f} µs "
+                  f"(ΔL = {summary[key] - params.L:.1f} µs over the base latency)")
+        return 0
+    finally:
+        if cleanup is not None:
+            shutil.rmtree(cleanup, ignore_errors=True)
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "sweep": _cmd_sweep,
@@ -555,6 +666,7 @@ _COMMANDS = {
     "goal": _cmd_goal,
     "cache": _cmd_cache,
     "fleet": _cmd_fleet,
+    "ingest": _cmd_ingest,
 }
 
 

@@ -145,12 +145,20 @@ class LatencyAnalyzer:
 
     @classmethod
     def from_batches(cls, batches, nranks: int, params: LogGPSParams, *,
-                     algorithms=None, protocol=None, **kwargs) -> "LatencyAnalyzer":
+                     algorithms=None, protocol=None, mmap_dir=None,
+                     **kwargs) -> "LatencyAnalyzer":
         """Analyze columnar :class:`~repro.schedgen.columnar.RankOpBatch`
-        arrays on the fused pipeline (see :meth:`from_program`)."""
+        arrays on the fused pipeline (see :meth:`from_program`).
+
+        ``mmap_dir`` disk-backs the fused graph's columns (out-of-core
+        analyze path); the caller owns the directory for the analyzer's
+        lifetime."""
         from ..schedgen.columnar import ScheduleBatches
 
-        spec = ScheduleBatches(batches, nranks, algorithms=algorithms, protocol=protocol)
+        spec = ScheduleBatches(
+            batches, nranks, algorithms=algorithms, protocol=protocol,
+            mmap_dir=mmap_dir,
+        )
         return cls(spec, params, **kwargs)
 
     @property

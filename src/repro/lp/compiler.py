@@ -242,7 +242,14 @@ def compile_lp(
     need_pairs = per_pair_lat or per_pair_gap
 
     is_comm_edge = np.asarray(graph.edge_kind) == int(EdgeKind.COMM)
-    bw_edge = np.maximum(size[edge_dst] - 1, 0).astype(np.float64) if m else np.zeros(0)
+    if m:
+        # one float64 temporary instead of the int64 gather + subtract +
+        # maximum + astype chain (4 × E bytes of peak scratch on large graphs)
+        bw_edge = size[edge_dst].astype(np.float64)
+        bw_edge -= 1.0
+        np.maximum(bw_edge, 0.0, out=bw_edge)
+    else:
+        bw_edge = np.zeros(0)
     if need_pairs and m:
         pair_lo = np.minimum(rank[edge_src], rank[edge_dst]).astype(np.int64)
         pair_hi = np.maximum(rank[edge_src], rank[edge_dst]).astype(np.int64)
@@ -274,8 +281,10 @@ def compile_lp(
     merges = graph.merge_points()
     merges = merges[np.argsort(topo_pos[merges], kind="stable")]
     y_col = np.full(n, -1, dtype=np.int64)
-    lat_col_of_pair = np.full(nranks * nranks, -1, dtype=np.int64)
-    gap_col_of_pair = np.full(nranks * nranks, -1, dtype=np.int64)
+    # the dense pair→column tables are O(nranks^2); only the per-pair modes
+    # ever read them, so the default global/constant modes (the million-rank
+    # analyze path) must not pay for them
+    lat_col_of_pair = gap_col_of_pair = None
     lat_pair_cols: list[tuple[tuple[int, int], int]] = []
     gap_pair_cols: list[tuple[tuple[int, int], int]] = []
 
@@ -286,6 +295,8 @@ def compile_lp(
         var_names += ["y%d" % v for v in merges.tolist()]
         var_lbs += [0.0] * len(merges)
     else:
+        lat_col_of_pair = np.full(nranks * nranks, -1, dtype=np.int64)
+        gap_col_of_pair = np.full(nranks * nranks, -1, dtype=np.int64)
         # events: (vertex sweep position, within-vertex position, kind,
         # payload); kind 0 = pair-latency var, 1 = pair-gap var, 2 = merge
         # (y) var.  Within one vertex, in-edges are processed in ascending
@@ -349,11 +360,12 @@ def compile_lp(
     # per-vertex cost deltas, then path compression back to each anchor
     # ------------------------------------------------------------------
     calc = np.asarray(kind) == int(VertexKind.CALC)
-    d_const = np.where(calc, cost, 0.0)
     if o_col is not None:
+        d_const = np.where(calc, cost, 0.0)
         d_o = (~calc).astype(np.float64)
     else:
-        d_const = d_const + np.where(calc, 0.0, params.o)
+        # folded in one pass: non-CALC vertices carry the constant overhead
+        d_const = np.where(calc, cost, params.o)
 
     chain_vertices = np.flatnonzero(chain_eid >= 0)
     chain_edges = chain_eid[chain_vertices]
@@ -428,7 +440,7 @@ def compile_lp(
     row_bw = np.zeros(R, dtype=np.float64)
     row_bw[e_comm] = bw_edge[row_eid[e_comm]]
 
-    row_const = acc_const[row_u].copy()
+    row_const = acc_const[row_u]  # fancy indexing already yields a fresh array
     if latency_mode == "constant":
         row_const[e_comm] += params.L
     if gap_mode == "constant":

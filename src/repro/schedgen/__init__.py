@@ -15,6 +15,12 @@ from .collectives import (
 )
 from .columnar import RankOpBatch, batches_from_program, batches_from_trace
 from .goal import GoalFormatError, dump_goal, dumps_goal, load_goal, loads_goal
+from .streaming import (
+    DEFAULT_CHUNK_RECORDS,
+    ChunkedBatches,
+    batches_from_trace_chunked,
+    load_goal_chunked,
+)
 from .graph import (
     EdgeKind,
     ExecutionGraph,
@@ -46,4 +52,8 @@ __all__ = [
     "load_goal",
     "loads_goal",
     "GoalFormatError",
+    "ChunkedBatches",
+    "batches_from_trace_chunked",
+    "load_goal_chunked",
+    "DEFAULT_CHUNK_RECORDS",
 ]

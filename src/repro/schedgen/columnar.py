@@ -294,6 +294,7 @@ def build_columnar_fused(
     *,
     algorithms,
     protocol,
+    mmap_dir=None,
 ):
     """Build an execution graph for the analyze-only path — never frozen.
 
@@ -310,11 +311,18 @@ def build_columnar_fused(
     :meth:`~repro.schedgen.graph.ExecutionGraph.content_digest` — the
     artifact cache and the shared-memory sweep pool key fused and frozen
     requests to the same entries.
+
+    ``mmap_dir`` (optional) backs the builder's growable columns with
+    memory-mapped files (see :class:`~repro.schedgen.graph.GraphBuilder`) so
+    the attached graph's columns are disk-backed too — the caller owns the
+    directory for the graph's lifetime.  Column bytes are identical either
+    way.
     """
     from .graph import ExecutionGraph, chain_condensed_levels
 
     builder = _populate_builder(
-        batches, nranks, algorithms=algorithms, protocol=protocol
+        batches, nranks, algorithms=algorithms, protocol=protocol,
+        mmap_dir=mmap_dir,
     )
     nv, ne = builder.num_vertices, builder.num_edges
     columns = {
@@ -364,11 +372,13 @@ class ScheduleBatches:
         *,
         algorithms=None,
         protocol=None,
+        mmap_dir=None,
     ) -> None:
         self.batches = batches
         self.nranks = int(nranks)
         self.algorithms = algorithms if algorithms is not None else coll.CollectiveAlgorithms()
         self.protocol = protocol
+        self.mmap_dir = mmap_dir
         self._graphs: dict[object, object] = {}
 
     @classmethod
@@ -401,6 +411,7 @@ class ScheduleBatches:
             graph = build_columnar_fused(
                 self.batches, self.nranks,
                 algorithms=self.algorithms, protocol=protocol,
+                mmap_dir=self.mmap_dir,
             )
             self._graphs[protocol] = graph
         return graph
@@ -417,13 +428,14 @@ def _populate_builder(
     *,
     algorithms,
     protocol,
+    mmap_dir=None,
 ) -> GraphBuilder:
     """The shared build core: emit all vertices/edges into a fresh builder."""
     from .builder import _expand_collective
 
     if len(batches) != nranks:
         raise ValueError(f"expected {nranks} batches, got {len(batches)}")
-    builder = GraphBuilder(nranks=nranks)
+    builder = GraphBuilder(nranks=nranks, mmap_dir=mmap_dir)
     for rank, batch in enumerate(batches):
         _check_batch(rank, nranks, batch)
 

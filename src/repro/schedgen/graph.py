@@ -36,6 +36,8 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import os
+import tempfile
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -86,6 +88,16 @@ class GraphBuilder:
     vertex and edge arrays preserve exactly the order in which vertices and
     edges were added (see ``src/repro/schedgen/README.md`` for the ordering
     guarantee the schedule generators build on).
+
+    With ``mmap_dir`` set, the growable columns live in disk-backed
+    ``np.memmap`` buffers (one file per column inside a unique subdirectory
+    of ``mmap_dir``) instead of anonymous RAM: growth re-maps the same file
+    at a larger size with no copy, and the OS may write dirty column pages
+    back and evict them under memory pressure, so schedules larger than RAM
+    can be assembled.  The produced values are bit-identical either way;
+    the caller owns ``mmap_dir`` and removes it once the builder *and any
+    graph attached zero-copy over its columns* are done (on POSIX the files
+    may be unlinked while still mapped).
     """
 
     __slots__ = (
@@ -102,26 +114,42 @@ class GraphBuilder:
         "_edst",
         "_ekind",
         "_label",
+        "_mmap_dir",
     )
 
-    def __init__(self, nranks: int) -> None:
+    def __init__(self, nranks: int, *, mmap_dir: str | os.PathLike | None = None) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         self.nranks = int(nranks)
         self._nv = 0
         self._ne = 0
-        self._vkind = np.empty(_INITIAL_CAPACITY, dtype=np.int8)
-        self._vrank = np.empty(_INITIAL_CAPACITY, dtype=np.int32)
-        self._vcost = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
-        self._vsize = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
-        self._vpeer = np.empty(_INITIAL_CAPACITY, dtype=np.int32)
-        self._vtag = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
-        self._esrc = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
-        self._edst = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
-        self._ekind = np.empty(_INITIAL_CAPACITY, dtype=np.int8)
+        self._mmap_dir = (
+            tempfile.mkdtemp(prefix="graphbuilder-", dir=os.fspath(mmap_dir))
+            if mmap_dir is not None
+            else None
+        )
+        self._vkind = self._alloc("_vkind", np.int8, _INITIAL_CAPACITY)
+        self._vrank = self._alloc("_vrank", np.int32, _INITIAL_CAPACITY)
+        self._vcost = self._alloc("_vcost", np.float64, _INITIAL_CAPACITY)
+        self._vsize = self._alloc("_vsize", np.int64, _INITIAL_CAPACITY)
+        self._vpeer = self._alloc("_vpeer", np.int32, _INITIAL_CAPACITY)
+        self._vtag = self._alloc("_vtag", np.int64, _INITIAL_CAPACITY)
+        self._esrc = self._alloc("_esrc", np.int64, _INITIAL_CAPACITY)
+        self._edst = self._alloc("_edst", np.int64, _INITIAL_CAPACITY)
+        self._ekind = self._alloc("_ekind", np.int8, _INITIAL_CAPACITY)
         self._label: dict[int, str] = {}
 
     # -- buffer management ---------------------------------------------------
+
+    def _alloc(self, name: str, dtype, capacity: int, *, grow: bool = False) -> np.ndarray:
+        if self._mmap_dir is None:
+            return np.empty(capacity, dtype=dtype)
+        # np.memmap with mode "r+" extends the file when the requested shape
+        # is larger, and the new mapping sees the bytes already written
+        # through the old one (same pages), so growth needs no copy
+        path = os.path.join(self._mmap_dir, f"{name.lstrip('_')}.bin")
+        return np.memmap(path, dtype=dtype, mode="r+" if grow else "w+",
+                         shape=(capacity,))
 
     def _reserve_vertices(self, needed: int) -> None:
         capacity = len(self._vkind)
@@ -131,8 +159,9 @@ class GraphBuilder:
         live = self._nv
         for name in ("_vkind", "_vrank", "_vcost", "_vsize", "_vpeer", "_vtag"):
             old = getattr(self, name)
-            new = np.empty(new_capacity, dtype=old.dtype)
-            new[:live] = old[:live]
+            new = self._alloc(name, old.dtype, new_capacity, grow=True)
+            if self._mmap_dir is None:
+                new[:live] = old[:live]
             setattr(self, name, new)
 
     def _reserve_edges(self, needed: int) -> None:
@@ -143,8 +172,9 @@ class GraphBuilder:
         live = self._ne
         for name in ("_esrc", "_edst", "_ekind"):
             old = getattr(self, name)
-            new = np.empty(new_capacity, dtype=old.dtype)
-            new[:live] = old[:live]
+            new = self._alloc(name, old.dtype, new_capacity, grow=True)
+            if self._mmap_dir is None:
+                new[:live] = old[:live]
             setattr(self, name, new)
 
     # -- vertices -----------------------------------------------------------
@@ -452,15 +482,13 @@ class ExecutionGraph:
         self.edge_kind = edge_kind
         self.labels = labels or {}
 
-        n = len(kind)
         m = len(edge_src)
-        # CSR for successors and predecessors
-        self._succ_indptr, self._succ_indices, self._succ_edges = _build_csr(
-            edge_src, edge_dst, n
-        )
-        self._pred_indptr, self._pred_indices, self._pred_edges = _build_csr(
-            edge_dst, edge_src, n
-        )
+        # CSR adjacency is derived lazily (see the ``_succ_*``/``_pred_*``
+        # properties): digest-only and analyze-only consumers never touch
+        # the successor CSR, and skipping it keeps those paths free of the
+        # O(E) indptr/indices/edge-id triple
+        self._succ_csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._pred_csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._topo_order: np.ndarray | None = None
         self._topo_positions: np.ndarray | None = None
         self._level_indptr: np.ndarray | None = None
@@ -470,6 +498,45 @@ class ExecutionGraph:
         self._content_digest: str | None = None
         self._level_plan_cache: dict[str, object] = {}
         self._num_edges = m
+
+    # -- lazy CSR adjacency --------------------------------------------------
+    # The six ``_succ_*``/``_pred_*`` names are the long-standing internal
+    # API (the LP compiler and the simulators read them directly); they are
+    # served as properties so the triples are only built on first use.
+
+    def _succ(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._succ_csr is None:
+            self._succ_csr = _build_csr(self.edge_src, self.edge_dst, len(self.kind))
+        return self._succ_csr
+
+    def _pred(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._pred_csr is None:
+            self._pred_csr = _build_csr(self.edge_dst, self.edge_src, len(self.kind))
+        return self._pred_csr
+
+    @property
+    def _succ_indptr(self) -> np.ndarray:
+        return self._succ()[0]
+
+    @property
+    def _succ_indices(self) -> np.ndarray:
+        return self._succ()[1]
+
+    @property
+    def _succ_edges(self) -> np.ndarray:
+        return self._succ()[2]
+
+    @property
+    def _pred_indptr(self) -> np.ndarray:
+        return self._pred()[0]
+
+    @property
+    def _pred_indices(self) -> np.ndarray:
+        return self._pred()[1]
+
+    @property
+    def _pred_edges(self) -> np.ndarray:
+        return self._pred()[2]
 
     # -- basic accessors ----------------------------------------------------
 
@@ -630,7 +697,11 @@ class ExecutionGraph:
             h.update(int(self.nranks).to_bytes(8, "little"))
             for name, dtype in self.CONTENT_COLUMNS:
                 h.update(name.encode("ascii") + b"\0")
-                h.update(np.ascontiguousarray(getattr(self, name), dtype=dtype).tobytes())
+                # hash through the buffer protocol: a column already in
+                # canonical layout (including a read-only memmap) is fed to
+                # sha256 without the tobytes() copy
+                column = np.ascontiguousarray(getattr(self, name), dtype=dtype)
+                h.update(column.data)
             for vid in sorted(self.labels):
                 h.update(int(vid).to_bytes(8, "little", signed=True))
                 h.update(self.labels[vid].encode("utf-8") + b"\0")

@@ -33,7 +33,8 @@ class TestCollect:
     def test_folds_all_records(self, tmp_path, monkeypatch):
         monkeypatch.setenv("GITHUB_SHA", "cafe1234")
         (tmp_path / "BENCH_alpha.json").write_text(
-            json.dumps({"bench": "alpha", "results": {"speedup": 7.0}})
+            json.dumps({"bench": "alpha", "peak_rss_mb": 123.5,
+                        "results": {"speedup": 7.0}})
         )
         (tmp_path / "BENCH_beta.json").write_text(
             json.dumps({"bench": "beta", "results": {"x": {"speedup": 2.0}}})
@@ -46,7 +47,9 @@ class TestCollect:
         assert summary["commit"] == "cafe1234"
         rows = {r["file"]: r for r in summary["benchmarks"]}
         assert rows["BENCH_alpha.json"]["headline_speedup"] == 7.0
+        assert rows["BENCH_alpha.json"]["peak_rss_mb"] == 123.5
         assert rows["BENCH_beta.json"]["headline_speedup"] == 2.0
+        assert rows["BENCH_beta.json"]["peak_rss_mb"] is None  # pre-column record
         assert "error" in rows["BENCH_broken.json"]
 
         # re-collecting must not ingest the summary itself

@@ -11,7 +11,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
-from _bench_utils import _json_default, emit_json  # noqa: E402
+from _bench_utils import _json_default, emit_json, peak_rss_mb  # noqa: E402
 
 
 class TestJsonDefault:
@@ -36,3 +36,23 @@ class TestJsonDefault:
         record = json.loads(Path(path).read_text())
         assert record["bench"] == "unit"
         assert record["results"] == {"ok": True, "speedup": 12.5}
+
+    def test_emit_json_records_peak_rss(self, tmp_path, monkeypatch):
+        # the memory column lives beside "results", never inside the payload
+        monkeypatch.setenv("BENCH_OUTPUT_DIR", str(tmp_path))
+        record = json.loads(Path(emit_json("mem", {"x": 1})).read_text())
+        assert "peak_rss_mb" in record
+        assert record["peak_rss_mb"] is None or record["peak_rss_mb"] > 0
+        assert record["results"] == {"x": 1}
+
+
+class TestPeakRss:
+    def test_positive_and_monotone(self):
+        first = peak_rss_mb()
+        if first is None:  # platform without /proc or resource
+            return
+        assert first > 0
+        ballast = np.ones(4 * 1024 * 1024, dtype=np.uint8)  # 4 MiB dirty pages
+        ballast[::4096] = 1
+        second = peak_rss_mb()
+        assert second is not None and second >= first
