@@ -68,8 +68,11 @@ def _pickling_job(job):
 
 
 def _run_pickling_pool(fleet):
+    # both paths pin envelope_engine="lp": this benchmark isolates the
+    # transport cost (pickled graphs vs shared columns), so the per-task
+    # compute must stay identical and engine-independent
     jobs = [
-        (graph, PARAMS, L_MIN, L_MAX, "auto", 50_000, None, BUILD_KWARGS)
+        (graph, PARAMS, L_MIN, L_MAX, "auto", 50_000, None, "lp", BUILD_KWARGS)
         for graph in fleet
     ]
     start = time.perf_counter()
@@ -93,6 +96,7 @@ def _run_shared_fleet(fleet):
             backend="auto",
             max_pieces=50_000,
             build_kwargs=tuple(sorted(BUILD_KWARGS.items())),
+            envelope_engine="lp",
             params=PARAMS,
             scenario=f"fleet[{i}]",
         )

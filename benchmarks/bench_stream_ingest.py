@@ -165,6 +165,7 @@ _CHILD_CHUNKED = _CHILD_PRELUDE + r"""
 _CHILD_STRESS = _CHILD_PRELUDE + r"""
     import time
 
+    from repro.core.envelope import forward_envelope
     from repro.lp import compile_lp
     from repro.schedgen.builder import ProtocolConfig
     from repro.schedgen.collectives import CollectiveAlgorithms
@@ -194,6 +195,13 @@ _CHILD_STRESS = _CHILD_PRELUDE + r"""
     objective_us = simulate(graph, params).makespan
     sim_s = time.perf_counter() - t0
 
+    # the full exact T(L) envelope — not just one objective — must fit the
+    # same memory budget: the forward engine traverses the mmap-backed
+    # level structure once and never assembles an LP model
+    t0 = time.perf_counter()
+    envelope = forward_envelope(graph, params, l_min=0.0, l_max=1000.0)
+    envelope_s = time.perf_counter() - t0
+
     out = {
         "path": "stress",
         "records": batches.num_rows,
@@ -207,6 +215,9 @@ _CHILD_STRESS = _CHILD_PRELUDE + r"""
         "graph_s": graph_s,
         "lp_s": lp_s,
         "sim_s": sim_s,
+        "envelope_s": envelope_s,
+        "envelope_pieces": len(envelope.lines),
+        "envelope_value_at_L_us": envelope.value(params.L),
         "peak_delta_mb": vmhwm_mb() - baseline_mb,
     }
 """ + _CHILD_EPILOGUE
@@ -318,11 +329,13 @@ def test_stream_ingest_memory(run_once):
             ["fused graph (mmap)", results["stress_graph_s"]],
             ["LP compile", results["stress_lp_s"]],
             ["forward-pass objective", results["stress_sim_s"]],
+            ["exact T(L) envelope", results["stress_envelope_s"]],
         ],
     )
     print(
         f"\n{results['stress_vertices']} vertices / {results['stress_edges']} "
         f"edges, objective {results['stress_objective_us']:.1f} us, "
+        f"T(L) envelope {results['stress_envelope_pieces']} pieces, "
         f"peak {results['stress_peak_delta_mb']:.0f} MB "
         f"(budget {results['stress_budget_mb']:.0f} MB)"
     )
@@ -339,4 +352,13 @@ def test_stream_ingest_memory(run_once):
     assert results["stress_peak_delta_mb"] <= results["stress_budget_mb"], (
         f"stress pipeline peaked at {results['stress_peak_delta_mb']:.0f} MB, "
         f"over the {results['stress_budget_mb']:.0f} MB budget"
+    )
+    # a full envelope, not a single point, within the same budget: evaluated
+    # at the baseline latency it must reproduce the simulated objective
+    assert results["stress_envelope_pieces"] >= 1
+    objective = results["stress_objective_us"]
+    at_baseline = results["stress_envelope_value_at_L_us"]
+    assert abs(at_baseline - objective) <= 1e-6 * max(1.0, abs(objective)), (
+        f"envelope T(L) = {at_baseline} diverges from the simulated "
+        f"objective {objective}"
     )

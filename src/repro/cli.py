@@ -125,6 +125,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "walk or the level-synchronous vectorised engine "
                              "(default: %(default)s, level for large graphs; "
                              "both are timestamp-identical)")
+    parser.add_argument("--envelope-engine", default="auto",
+                        choices=("auto", "forward", "lp"),
+                        help="T(L) envelope engine: the single-traversal "
+                             "forward line propagation (no LP solves) or the "
+                             "LP tangent search (default: %(default)s — "
+                             "forward whenever the affinity contract holds, "
+                             "LP otherwise; both produce the identical curve)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_app_args(p: argparse.ArgumentParser) -> None:
@@ -282,7 +289,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         source = _app_schedule(args, params)
     else:
         source = _app_graph(args, params)
-    analyzer = LatencyAnalyzer(source, params, lp_engine=args.lp_engine)
+    analyzer = LatencyAnalyzer(
+        source, params, lp_engine=args.lp_engine,
+        envelope_engine=args.envelope_engine,
+    )
     summary = analyzer.summary()
     if args.json:
         print(json.dumps(summary, indent=2))
@@ -335,7 +345,8 @@ def _cmd_curve(args: argparse.Namespace) -> int:
     else:
         source = _app_graph(args, params)
     analyzer = LatencyAnalyzer(
-        source, params, backend=args.backend, lp_engine=args.lp_engine
+        source, params, backend=args.backend, lp_engine=args.lp_engine,
+        envelope_engine=args.envelope_engine,
     )
     graph = analyzer.graph
     sweep = analyzer.batched_sweep(l_max=args.l_max)
@@ -501,7 +512,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     graph = _app_graph(args, params)
     store.get_or_build_graph(graph.content_digest(), lambda: graph)
     analyzer = LatencyAnalyzer(
-        graph, params, lp_engine=args.lp_engine, cache_dir=args.cache_dir
+        graph, params, lp_engine=args.lp_engine,
+        envelope_engine=args.envelope_engine, cache_dir=args.cache_dir
     )
     sweep = analyzer.batched_sweep(l_max=args.l_max)
     lp_key = combine_digests(
@@ -557,6 +569,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         sim_deltas=args.sim_deltas,
         backend=args.backend,
         builder_engine=args.builder_engine,
+        envelope_engine=args.envelope_engine,
         processes=args.processes,
         cache_dir=args.cache_dir,
     )

@@ -99,9 +99,13 @@ class LatencyAnalyzer:
         gap_symbolic: bool = False,
         lp_engine: str = "auto",
         sim_engine: str = "auto",
+        envelope_engine: str = "auto",
         cache_dir: str | os.PathLike | None = None,
     ) -> None:
         from ..schedgen.columnar import ScheduleBatches
+        from .envelope import _check_engine_name
+
+        _check_engine_name(envelope_engine)
 
         if isinstance(graph, ScheduleBatches):
             # fused analyze-only path: keep the batch spec; the execution
@@ -117,6 +121,7 @@ class LatencyAnalyzer:
         self._gap_symbolic = gap_symbolic
         self.lp_engine = lp_engine
         self.sim_engine = sim_engine
+        self.envelope_engine = envelope_engine
         self._lp: GraphLP | None = None
         self._baseline_runtime: float | None = None
         self._store = None
@@ -260,9 +265,13 @@ class LatencyAnalyzer:
         hit the returned sweep wraps the stored curve and never builds,
         assembles or solves the LP at all (zero new CSR assemblies); on a
         miss the envelope is built once and persisted for the next caller.
+        Store keys are engine-free — an envelope warmed with one
+        ``envelope_engine`` is a hit for the other, since both compute the
+        identical curve.
         """
         lo = self.params.L if l_min is None else l_min
         kwargs.setdefault("backend", self.backend)
+        kwargs.setdefault("envelope_engine", self.envelope_engine)
         if self._store is None:
             return BatchedSweep(self.lp, l_min=lo, l_max=l_max, **kwargs)
         from ..artifacts import envelope_key
@@ -274,7 +283,11 @@ class LatencyAnalyzer:
             l_max=l_max,
             gap_symbolic=self._gap_symbolic,
             lp_engine=self.lp_engine,
-            **{k: v for k, v in kwargs.items() if k != "backend"},
+            **{
+                k: v
+                for k, v in kwargs.items()
+                if k not in ("backend", "envelope_engine")
+            },
         )
         cached = self._store.get("envelope", key)
         if cached is not None:
@@ -297,6 +310,7 @@ class LatencyAnalyzer:
         max_pieces: int = 50_000,
         processes: int | None = None,
         cache_dir: str | os.PathLike | None = None,
+        envelope_engine: str = "auto",
         **build_kwargs,
     ) -> list[BatchedSweep]:
         """One :class:`BatchedSweep` per graph, via the shared-memory pool.
@@ -320,6 +334,7 @@ class LatencyAnalyzer:
             max_pieces=max_pieces,
             processes=processes,
             cache_dir=cache_dir,
+            envelope_engine=envelope_engine,
             **build_kwargs,
         )
         return [BatchedSweep.from_envelope(envelope) for envelope in envelopes]
@@ -434,8 +449,15 @@ class LatencyAnalyzer:
     ) -> list[float]:
         """Critical latencies in ``[l_min, l_max]`` (Algorithm 2)."""
         lo = self.params.L if l_min is None else l_min
+        if self.envelope_engine != "lp" and self._lp is None:
+            # forward engine on the raw graph: no LP is ever assembled
+            return find_critical_latencies(
+                self.graph, lo, l_max, step=step, params=self.params,
+                envelope_engine=self.envelope_engine,
+            )
         return find_critical_latencies(
-            self.lp, lo, l_max, backend=self.backend, step=step
+            self.lp, lo, l_max, backend=self.backend, step=step,
+            envelope_engine=self.envelope_engine,
         )
 
     def critical_latency_curve(self, l_min: float | None = None, l_max: float = 1_000.0):
@@ -446,7 +468,15 @@ class LatencyAnalyzer:
         additional LP solves at the segment mid-points.
         """
         lo = self.params.L if l_min is None else l_min
-        return critical_latency_curve(self.lp, lo, l_max, backend=self.backend)
+        if self.envelope_engine != "lp" and self._lp is None:
+            return critical_latency_curve(
+                self.graph, lo, l_max, params=self.params,
+                envelope_engine=self.envelope_engine,
+            )
+        return critical_latency_curve(
+            self.lp, lo, l_max, backend=self.backend,
+            envelope_engine=self.envelope_engine,
+        )
 
     # -- reporting ----------------------------------------------------------------------
 

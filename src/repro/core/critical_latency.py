@@ -15,8 +15,13 @@ ranging and strictly better than a fixed ``step`` sweep.  A ``step``
 argument is still accepted for compatibility with the paper's interface:
 when given, breakpoints closer than ``step`` are coalesced.
 
-Both functions here are thin wrappers; the search itself lives in
-:mod:`repro.lp.parametric` and is shared with
+With ``envelope_engine="forward"`` (or ``"auto"``, whenever the affinity
+contract of ``src/repro/lp/README.md`` holds) the breakpoints come from the
+single-traversal line propagation of :mod:`repro.core.envelope` instead —
+the same exact curve with zero LP solves.
+
+Both functions here are thin wrappers; the searches themselves live in
+:mod:`repro.lp.parametric` / :mod:`repro.core.envelope` and are shared with
 :class:`repro.core.parametric.BatchedSweep`.
 """
 
@@ -28,6 +33,19 @@ from ..schedgen.graph import ExecutionGraph
 from .lp_builder import GraphLP, build_lp
 
 __all__ = ["Tangent", "find_critical_latencies", "critical_latency_curve"]
+
+
+def _validate_interval(l_min: float, l_max: float) -> None:
+    """Reject a bad sweep interval up front, before any LP or traversal.
+
+    Pinned by tests: a reversed/empty/negative interval must fail here with
+    this message, never part-way through a tangent search.
+    """
+    if l_min < 0 or l_max <= l_min:
+        raise ValueError(
+            f"invalid latency interval [{l_min}, {l_max}]: "
+            "require 0 <= l_min < l_max"
+        )
 
 
 def _as_graph_lp(
@@ -51,15 +69,49 @@ def _as_graph_lp(
     return graph_lp
 
 
-def _collect_breakpoints(result: TangentEnvelope, step: float | None) -> list[float]:
-    breakpoints = sorted(set(round(bp, 12) for bp in result.breakpoints))
-    if step is not None and step > 0 and breakpoints:
-        coalesced = [breakpoints[0]]
-        for bp in breakpoints[1:]:
+def _collect_breakpoints(breakpoints, step: float | None) -> list[float]:
+    collected = sorted(set(round(bp, 12) for bp in breakpoints))
+    if step is not None and step > 0 and collected:
+        coalesced = [collected[0]]
+        for bp in collected[1:]:
             if bp - coalesced[-1] >= step:
                 coalesced.append(bp)
-        breakpoints = coalesced
-    return breakpoints
+        collected = coalesced
+    return collected
+
+
+def _forward_piecewise(
+    graph_lp: GraphLP | ExecutionGraph,
+    params: LogGPSParams | None,
+    engine: str,
+    envelope_engine: str,
+    l_min: float,
+    l_max: float,
+):
+    """The envelope as a :class:`PiecewiseLinear` when the forward engine
+    applies, else ``None`` (caller falls back to the tangent search).
+
+    A raw :class:`ExecutionGraph` under ``"auto"``/``"forward"`` never
+    builds an LP at all; a prebuilt :class:`GraphLP` goes through
+    :func:`~repro.core.envelope.resolve_envelope_engine` so the affinity
+    contract is honoured (and violations raise for ``"forward"``).
+    """
+    from .envelope import _check_engine_name, forward_envelope, resolve_envelope_engine
+
+    _check_engine_name(envelope_engine)
+    if envelope_engine == "lp":
+        return None
+    if isinstance(graph_lp, ExecutionGraph):
+        if params is None:
+            raise ValueError(
+                "passing an ExecutionGraph requires the params= keyword"
+            )
+        return forward_envelope(graph_lp, params, l_min=l_min, l_max=l_max)
+    if resolve_envelope_engine(envelope_engine, graph_lp) == "forward":
+        return forward_envelope(
+            graph_lp.graph, graph_lp.params, l_min=l_min, l_max=l_max
+        )
+    return None
 
 
 def find_critical_latencies(
@@ -72,6 +124,7 @@ def find_critical_latencies(
     max_solves: int = 10_000,
     params: LogGPSParams | None = None,
     engine: str = "auto",
+    envelope_engine: str = "auto",
 ) -> list[float]:
     """All critical latencies of ``graph_lp`` inside ``[l_min, l_max]``.
 
@@ -80,12 +133,19 @@ def find_critical_latencies(
     number of LP solves.  ``graph_lp`` may also be a raw
     :class:`~repro.schedgen.graph.ExecutionGraph` together with ``params=``;
     the LP is then built through the selected construction ``engine``.
+    ``envelope_engine`` picks how the envelope is recovered — the forward
+    line propagation (no LP solves) or the LP tangent search; both return
+    the identical breakpoints.
     """
-    if l_min < 0 or l_max <= l_min:
-        raise ValueError(f"invalid latency interval [{l_min}, {l_max}]")
+    _validate_interval(l_min, l_max)
+    piecewise = _forward_piecewise(
+        graph_lp, params, engine, envelope_engine, l_min, l_max
+    )
+    if piecewise is not None:
+        return _collect_breakpoints(piecewise.breakpoints(), step)
     graph_lp = _as_graph_lp(graph_lp, params, engine)
     result = graph_lp.tangent_envelope(l_min, l_max, backend=backend, max_solves=max_solves)
-    return _collect_breakpoints(result, step)
+    return _collect_breakpoints(result.breakpoints, step)
 
 
 def critical_latency_curve(
@@ -97,6 +157,7 @@ def critical_latency_curve(
     max_solves: int = 10_000,
     params: LogGPSParams | None = None,
     engine: str = "auto",
+    envelope_engine: str = "auto",
 ) -> list[Tangent]:
     """Tangents of ``T(L)`` on every linear segment of ``[l_min, l_max]``.
 
@@ -105,13 +166,27 @@ def critical_latency_curve(
     the step function ``λ_L(L)`` over the interval.  The segment tangents are
     served from the cache of the single envelope search — no additional LP
     solves at the segment mid-points.  Accepts a raw execution graph (plus
-    ``params=`` / ``engine=``) like :func:`find_critical_latencies`.
+    ``params=`` / ``engine=``) like :func:`find_critical_latencies`, and the
+    same ``envelope_engine`` knob.
     """
-    if l_min < 0 or l_max <= l_min:
-        raise ValueError(f"invalid latency interval [{l_min}, {l_max}]")
+    _validate_interval(l_min, l_max)
+    piecewise = _forward_piecewise(
+        graph_lp, params, engine, envelope_engine, l_min, l_max
+    )
+    if piecewise is not None:
+        points = _collect_breakpoints(piecewise.breakpoints(), None)
+        boundaries = [l_min, *points, l_max]
+        return [
+            Tangent(
+                L=0.5 * (lo + hi),
+                value=piecewise.value(0.5 * (lo + hi)),
+                slope=piecewise.slope(0.5 * (lo + hi)),
+            )
+            for lo, hi in zip(boundaries, boundaries[1:])
+        ]
     graph_lp = _as_graph_lp(graph_lp, params, engine)
     result = graph_lp.tangent_envelope(l_min, l_max, backend=backend, max_solves=max_solves)
-    points = _collect_breakpoints(result, None)
+    points = _collect_breakpoints(result.breakpoints, None)
     boundaries = [l_min, *points, l_max]
     return [
         result.segment_tangent(0.5 * (lo + hi))

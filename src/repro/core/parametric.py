@@ -380,6 +380,13 @@ class BatchedSweep:
         this many linear segments raises :class:`EnvelopeOverflowError`.
     max_solves:
         Hard bound on the number of LP solves.
+    envelope_engine:
+        ``"forward"`` computes the envelope with the single-traversal line
+        propagation of :mod:`repro.core.envelope` (no LP solves at all),
+        ``"lp"`` forces the tangent search, and ``"auto"`` (default) picks
+        the forward pass whenever it is exact for this LP and falls back to
+        the tangent search otherwise.  Both engines return the identical
+        curve — see the affinity contract in ``src/repro/lp/README.md``.
     """
 
     def __init__(
@@ -391,7 +398,10 @@ class BatchedSweep:
         backend: str = "auto",
         max_pieces: int = 50_000,
         max_solves: int = 10_000,
+        envelope_engine: str = "auto",
     ) -> None:
+        from .envelope import _check_engine_name
+
         if graph_lp.latency is None:
             raise ValueError(
                 "BatchedSweep requires a GraphLP built with latency_mode='global'"
@@ -400,12 +410,14 @@ class BatchedSweep:
             raise ValueError(f"invalid latency interval [{l_min}, {l_max}]")
         if max_pieces < 1:
             raise ValueError(f"max_pieces must be positive, got {max_pieces}")
+        _check_engine_name(envelope_engine)
         self.graph_lp = graph_lp
         self.l_min = float(l_min)
         self.l_max = float(l_max)
         self.backend = backend
         self.max_pieces = max_pieces
         self.max_solves = max_solves
+        self.envelope_engine = envelope_engine
         self.num_solves = 0
         self._envelope: PiecewiseLinear | None = None
 
@@ -424,6 +436,7 @@ class BatchedSweep:
         sweep.backend = "cached"
         sweep.max_pieces = max(len(envelope.lines), 1)
         sweep.max_solves = 0
+        sweep.envelope_engine = "cached"
         sweep.num_solves = 0
         sweep._envelope = envelope
         return sweep
@@ -435,6 +448,17 @@ class BatchedSweep:
             raise ValueError(
                 "this BatchedSweep was restored from a cached envelope and "
                 "has no model to solve"
+            )
+        from .envelope import forward_envelope, resolve_envelope_engine
+
+        if resolve_envelope_engine(self.envelope_engine, self.graph_lp) == "forward":
+            # single-traversal line propagation: exact, zero LP solves
+            return forward_envelope(
+                self.graph_lp.graph,
+                self.graph_lp.params,
+                l_min=self.l_min,
+                l_max=self.l_max,
+                max_pieces=self.max_pieces,
             )
         # the tangent-probing search is the shared ParametricLP engine; this
         # class only owns the geometric reconstruction of the envelope
@@ -493,14 +517,28 @@ class BatchedSweep:
 
 
 def _sweep_one_graph(job) -> PiecewiseLinear:
-    graph, params, l_min, l_max, backend, max_pieces, cache_dir, build_kwargs = job
+    (graph, params, l_min, l_max, backend, max_pieces, cache_dir,
+     envelope_engine, build_kwargs) = job
 
     def build() -> PiecewiseLinear:
+        from .envelope import forward_envelope, forward_supports_modes
+
+        if envelope_engine != "lp" and forward_supports_modes(build_kwargs):
+            # a fresh LP in these modes is always forward-compatible, so the
+            # forward pass can skip the LP assembly altogether
+            return forward_envelope(
+                graph, params, l_min=l_min, l_max=l_max, max_pieces=max_pieces
+            )
         from .lp_builder import build_lp
 
         graph_lp = build_lp(graph, params, **build_kwargs)
         sweep = BatchedSweep(
-            graph_lp, l_min=l_min, l_max=l_max, backend=backend, max_pieces=max_pieces
+            graph_lp,
+            l_min=l_min,
+            l_max=l_max,
+            backend=backend,
+            max_pieces=max_pieces,
+            envelope_engine=envelope_engine,
         )
         return sweep.envelope
 
@@ -509,6 +547,8 @@ def _sweep_one_graph(job) -> PiecewiseLinear:
     from ..artifacts import ArtifactStore, envelope_key
 
     store = ArtifactStore(cache_dir)
+    # deliberately engine-free: both engines produce the identical curve, so
+    # cached entries are shared across envelope_engine choices
     key = envelope_key(
         graph, params, l_min=l_min, l_max=l_max, max_pieces=max_pieces, **build_kwargs
     )
@@ -525,6 +565,7 @@ def batched_sweep_graphs(
     max_pieces: int = 50_000,
     processes: int | None = None,
     cache_dir: str | os.PathLike | None = None,
+    envelope_engine: str = "auto",
     **build_kwargs,
 ) -> list[PiecewiseLinear]:
     """Batched sweeps of several independent graphs, optionally in parallel.
@@ -546,7 +587,14 @@ def batched_sweep_graphs(
     runs are answered from disk instead of re-building and re-assembling the
     LP.  The store's writes are atomic, so pool workers may race on a key
     safely.
+
+    ``envelope_engine`` selects how each envelope is computed (see
+    :class:`BatchedSweep`); cache keys are engine-free, so entries warmed by
+    one engine are reused by the other.
     """
+    from .envelope import _check_engine_name
+
+    _check_engine_name(envelope_engine)
     cache_dir = None if cache_dir is None else os.fspath(cache_dir)
     from ..schedgen.columnar import ScheduleBatches
 
@@ -569,6 +617,7 @@ def batched_sweep_graphs(
                 l_max=l_max,
                 backend=backend,
                 max_pieces=max_pieces,
+                envelope_engine=envelope_engine,
                 **build_kwargs,
             )
 
@@ -579,7 +628,8 @@ def batched_sweep_graphs(
         envelope = by_digest.get(digest)
         if envelope is None:
             envelope = _sweep_one_graph(
-                (graph, params, l_min, l_max, backend, max_pieces, cache_dir, build_kwargs)
+                (graph, params, l_min, l_max, backend, max_pieces, cache_dir,
+                 envelope_engine, build_kwargs)
             )
             by_digest[digest] = envelope
         envelopes.append(envelope)

@@ -86,11 +86,15 @@ class ScenarioFleet:
         sim_deltas: Sequence[float] = (0.0, 10.0),
         backend: str = "auto",
         builder_engine: str = "auto",
+        envelope_engine: str = "auto",
         max_pieces: int = 50_000,
         processes: int | None = None,
         cache_dir: str | os.PathLike | None = None,
     ) -> None:
         from ..apps import ALL_APPS
+        from ..core.envelope import _check_engine_name
+
+        _check_engine_name(envelope_engine)
 
         unknown = [app for app in apps if app not in ALL_APPS]
         if unknown:
@@ -109,6 +113,7 @@ class ScenarioFleet:
         self.sim_deltas = tuple(float(d) for d in sim_deltas)
         self.backend = backend
         self.builder_engine = builder_engine
+        self.envelope_engine = envelope_engine
         self.max_pieces = int(max_pieces)
         self.processes = processes
         self.cache_dir = cache_dir
@@ -171,6 +176,7 @@ class ScenarioFleet:
                     max_pieces=self.max_pieces,
                     build_kwargs=(("latency_mode", "global"),),
                     sim=sim,
+                    envelope_engine=self.envelope_engine,
                     params=sc.params,
                     scenario=sc.name,
                 )

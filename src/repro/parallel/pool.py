@@ -62,15 +62,23 @@ class SweepTask:
     max_pieces: int = 50_000
     build_kwargs: tuple[tuple[str, object], ...] = ()
     sim: tuple[str, tuple[float, ...]] | None = None  # (injector, deltas)
+    envelope_engine: str = "auto"
     segment: str | None = field(default=None, compare=False)
     params: LogGPSParams | None = field(default=None, compare=False)
     scenario: str | None = field(default=None, compare=False)
 
     def dedupe_key(self) -> tuple:
-        """Two tasks with equal keys produce bit-identical results."""
+        """Two tasks with equal keys produce bit-identical results.
+
+        The ``envelope_engine`` is part of this key (conservatively — the
+        engines agree to well below solver tolerance, but bit-identity is
+        only claimed within one engine), yet *not* of :meth:`store_key`:
+        cached envelopes are shared across engines.
+        """
         return (
             self.graph_digest, self.params_digest, self.l_min, self.l_max,
             self.backend, self.max_pieces, self.build_kwargs, self.sim,
+            self.envelope_engine,
         )
 
     def store_key(self) -> str:
@@ -166,13 +174,26 @@ def _execute_task(task: SweepTask) -> dict:
         )
 
     def build():
-        graph_lp = build_lp(graph, task.params, **dict(task.build_kwargs))
+        from ..core.envelope import forward_envelope, forward_supports_modes
+
+        build_kwargs = dict(task.build_kwargs)
+        if task.envelope_engine != "lp" and forward_supports_modes(build_kwargs):
+            # forward-compatible modes on a fresh build: skip the LP entirely
+            return forward_envelope(
+                graph,
+                task.params,
+                l_min=task.l_min,
+                l_max=task.l_max,
+                max_pieces=task.max_pieces,
+            )
+        graph_lp = build_lp(graph, task.params, **build_kwargs)
         sweep = BatchedSweep(
             graph_lp,
             l_min=task.l_min,
             l_max=task.l_max,
             backend=task.backend,
             max_pieces=task.max_pieces,
+            envelope_engine=task.envelope_engine,
         )
         return sweep.envelope
 
@@ -385,6 +406,7 @@ class SweepPool:
         l_max: float = 10_000.0,
         backend: str = "auto",
         max_pieces: int = 50_000,
+        envelope_engine: str = "auto",
         **build_kwargs,
     ) -> list:
         """One exact ``T(L)`` envelope per graph (duplicates solved once).
@@ -404,6 +426,7 @@ class SweepPool:
                 backend=backend,
                 max_pieces=int(max_pieces),
                 build_kwargs=build_items,
+                envelope_engine=envelope_engine,
                 params=params,
                 scenario=f"graph[{i}] {graph.content_digest()[:12]}…",
             )
